@@ -1,0 +1,150 @@
+// Command reach runs symbolic reachability analysis on the built-in
+// benchmark models (or a netlist file) with the traversal strategies of
+// the paper's Table 1.
+//
+// Usage:
+//
+//	reach -model am2910 -method hd-rua
+//	reach -model s5378 -scale full -method bfs -budget 5m
+//	reach -in mydesign.net -method hd-sp -threshold 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bddkit/internal/circuit"
+	"bddkit/internal/model"
+	"bddkit/internal/reach"
+)
+
+func main() {
+	mdl := flag.String("model", "", "built-in model: am2910, s1269, s3330, s5378, or counter")
+	in := flag.String("in", "", "netlist file (alternative to -model)")
+	scale := flag.String("scale", "small", "model scale: small, table1, full")
+	method := flag.String("method", "bfs", "traversal: bfs, hd-rua, hd-sp, hd-hb")
+	threshold := flag.Int("threshold", 0, "frontier subset threshold (HD)")
+	quality := flag.Float64("quality", 1.0, "RUA quality factor (HD)")
+	pimgLimit := flag.Int("pimg-limit", 0, "partial-image trigger size (0 = exact images)")
+	pimgTh := flag.Int("pimg-threshold", 0, "partial-image subset size")
+	budget := flag.Duration("budget", 5*time.Minute, "wall-clock budget")
+	cluster := flag.Int("cluster", 2500, "transition-relation cluster threshold")
+	flag.Parse()
+
+	nl, err := pickModel(*mdl, *in, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reach:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("circuit %s: %d inputs, %d flip-flops, %d gates\n",
+		nl.Name, len(nl.Inputs), len(nl.Latches), nl.NumGates())
+
+	c, err := circuit.Compile(nl, circuit.CompileOptions{AutoReorder: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reach:", err)
+		os.Exit(1)
+	}
+	tr, err := reach.NewTR(c, reach.TROptions{ClusterSize: *cluster})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reach:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("transition relation: %d clusters\n", len(tr.Clusters))
+
+	opts := reach.Options{Threshold: *threshold, Budget: *budget}
+	var sub reach.Subsetter
+	switch *method {
+	case "bfs":
+	case "hd-rua":
+		sub = reach.RUASubsetter(*quality)
+	case "hd-sp":
+		sub = reach.SPSubsetter()
+	case "hd-hb":
+		sub = reach.HBSubsetter()
+	default:
+		fmt.Fprintf(os.Stderr, "reach: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	if *pimgLimit > 0 && sub != nil {
+		opts.PImg = &reach.PImg{Limit: *pimgLimit, Threshold: *pimgTh, Subset: sub}
+	}
+
+	var res reach.Result
+	if sub == nil {
+		res = tr.BFS(c.Init, opts)
+	} else {
+		opts.Subset = sub
+		res = tr.HighDensity(c.Init, opts)
+	}
+
+	status := "completed"
+	if !res.Completed {
+		status = "BUDGET EXHAUSTED (lower bound)"
+	}
+	fmt.Printf("%s: %s\n", *method, status)
+	fmt.Printf("  states      %.6g\n", res.States)
+	fmt.Printf("  |reached|   %d nodes\n", res.Nodes)
+	fmt.Printf("  iterations  %d (+%d closure checks)\n", res.Iterations, res.Closure)
+	fmt.Printf("  images      %d (%d AndExists, %d partial-image cuts)\n",
+		res.Stats.Images, res.Stats.AndExists, res.Stats.PImgCuts)
+	fmt.Printf("  peak        %d live nodes, %d largest product\n",
+		res.Stats.PeakLiveNodes, res.Stats.PeakProduct)
+	fmt.Printf("  time        %v\n", res.Elapsed.Round(time.Millisecond))
+	c.M.Deref(res.Reached)
+	tr.Release()
+	c.Release()
+}
+
+func pickModel(mdl, in, scale string) (*circuit.Netlist, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.Parse(f)
+	}
+	switch mdl {
+	case "am2910":
+		switch scale {
+		case "small":
+			return model.Am2910(model.Am2910Small()), nil
+		case "table1":
+			return model.Am2910(model.Am2910Config{Width: 8, StackDepth: 3, WithROM: true, RomSeed: 7}), nil
+		default:
+			return model.Am2910(model.Am2910Full()), nil
+		}
+	case "s1269":
+		if scale == "small" {
+			return model.S1269(model.S1269Small()), nil
+		}
+		return model.S1269(model.S1269Full()), nil
+	case "s3330":
+		if scale == "small" {
+			return model.S3330(model.S3330Small()), nil
+		}
+		return model.S3330(model.S3330Full()), nil
+	case "s5378":
+		switch scale {
+		case "small":
+			return model.S5378(model.S5378Small()), nil
+		case "table1":
+			return model.S5378(model.S5378Config{Units: 6, UnitWidth: 5}), nil
+		default:
+			return model.S5378(model.S5378Full()), nil
+		}
+	case "counter":
+		b := circuit.NewBuilder("counter16")
+		en := b.Input("en")
+		q := b.LatchBus("q", 16, 0)
+		inc, _ := b.Incrementer(q)
+		b.SetNextBus(q, b.MuxBus(en, inc, q))
+		b.Output("tc", b.EqConst(q, 0xFFFF))
+		return b.MustBuild(), nil
+	case "":
+		return nil, fmt.Errorf("one of -model or -in is required")
+	}
+	return nil, fmt.Errorf("unknown model %q", mdl)
+}

@@ -1,0 +1,14 @@
+// Package bddkit reproduces "Approximation and Decomposition of Binary
+// Decision Diagrams" (Ravi, McMillan, Shiple, Somenzi — DAC 1998) as a
+// complete Go library: a CUDD-style ROBDD manager with complement arcs and
+// dynamic reordering (internal/bdd), the paper's approximation algorithms
+// including remapUnderApprox (internal/approx), its decomposition
+// algorithms (internal/decomp), a gate-level circuit substrate
+// (internal/circuit, internal/model), a reachability engine with
+// high-density traversal (internal/reach), and the benchmark harness that
+// regenerates the paper's Tables 1–4 (internal/bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured comparison. The benchmarks in
+// bench_test.go exercise one paper table each.
+package bddkit

@@ -1,0 +1,3 @@
+module bddkit
+
+go 1.22

@@ -1,0 +1,60 @@
+package approx
+
+import "bddkit/internal/bdd"
+
+// Compound approximation methods (Section 2.2 of the paper). Given an
+// approximation α and the safe minimization µ(l, u) of Hong et al. [11]
+// (implemented by Manager.Minimize), µ(α(f), f) is again an
+// underapproximation; it is safe when α and µ are. Approximations also
+// compose: α1(α2(f)) is an underapproximation.
+
+// Compound1 is C1 of Table 3: RemapUnderApprox followed by safe
+// minimization against f. It never produces a larger BDD than RUA and
+// never retains fewer minterms, so it "never loses to RUA".
+func Compound1(m *bdd.Manager, f bdd.Ref, threshold int, quality float64) bdd.Ref {
+	r := RemapUnderApprox(m, f, threshold, quality)
+	if r == bdd.Zero {
+		return r
+	}
+	res := m.Minimize(r, f)
+	m.Deref(r)
+	return res
+}
+
+// Compound2 is C2 of Table 3: ShortPaths, then RemapUnderApprox, then safe
+// minimization against f. spThreshold bounds the intermediate SP subset.
+func Compound2(m *bdd.Manager, f bdd.Ref, spThreshold int, quality float64) bdd.Ref {
+	s := ShortPaths(m, f, spThreshold)
+	r := RemapUnderApprox(m, s, 0, quality)
+	m.Deref(s)
+	if r == bdd.Zero {
+		return r
+	}
+	res := m.Minimize(r, f)
+	m.Deref(r)
+	return res
+}
+
+// IteratedRemap mitigates the greediness of RUA as suggested in Section
+// 2.2: it applies RUA repeatedly, starting from a quality factor above 1
+// and decreasing it by step at each iteration until it reaches 1.
+func IteratedRemap(m *bdd.Manager, f bdd.Ref, threshold int, startQuality, step float64) bdd.Ref {
+	if startQuality < 1 {
+		startQuality = 1
+	}
+	if step <= 0 {
+		step = 0.25
+	}
+	r := m.Ref(f)
+	for q := startQuality; ; q -= step {
+		if q < 1 {
+			q = 1
+		}
+		nr := RemapUnderApprox(m, r, threshold, q)
+		m.Deref(r)
+		r = nr
+		if q == 1 {
+			return r
+		}
+	}
+}

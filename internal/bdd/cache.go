@@ -1,0 +1,97 @@
+package bdd
+
+// computedCache is the operation (computed) table: a direct-mapped,
+// lossy cache keyed by an operation code and up to three operand Refs.
+// Entries are invalidated wholesale on garbage collection and reordering,
+// since collected nodes may be recycled into unrelated functions.
+
+// Operation codes for the computed table. Distinct operations with the same
+// operand tuple must use distinct codes.
+const (
+	opIte uint32 = iota + 1
+	opAnd
+	opXor
+	opExists
+	opForAll
+	opAndExists
+	opConstrain
+	opRestrict
+	opCompose
+	opPermute
+	opLeq
+	opCofCube
+	opSqueeze
+	opUser // first code available to client packages (see CacheOp)
+)
+
+type cacheEntry struct {
+	a, b, c Ref
+	op      uint32
+	res     Ref
+}
+
+type computedCache struct {
+	entries []cacheEntry
+	mask    uint32
+}
+
+func (c *computedCache) init(bits uint) {
+	n := 1 << bits
+	c.entries = make([]cacheEntry, n)
+	c.mask = uint32(n - 1)
+	c.clear()
+}
+
+func (c *computedCache) clear() {
+	for i := range c.entries {
+		c.entries[i].res = invalidRef
+	}
+}
+
+func cacheHash(op uint32, a, b, cc Ref) uint32 {
+	h := uint64(op)*0x2545f4914f6cdd1d + uint64(a)*0x9e3779b97f4a7c15 +
+		uint64(b)*0xbf58476d1ce4e5b9 + uint64(cc)*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 32
+	return uint32(h)
+}
+
+// lookup probes the cache; ok reports a hit. The result Ref may be dead and
+// must be revived with Manager.Ref by the caller before any allocation.
+func (m *Manager) cacheLookup(op uint32, a, b, c Ref) (Ref, bool) {
+	m.stats.CacheLookups++
+	e := &m.cache.entries[cacheHash(op, a, b, c)&m.cache.mask]
+	if e.op == op && e.a == a && e.b == b && e.c == c && e.res != invalidRef {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	return invalidRef, false
+}
+
+// cacheInsert records op(a,b,c) = res, overwriting whatever shared the slot.
+func (m *Manager) cacheInsert(op uint32, a, b, c Ref, res Ref) {
+	e := &m.cache.entries[cacheHash(op, a, b, c)&m.cache.mask]
+	*e = cacheEntry{a: a, b: b, c: c, op: op, res: res}
+}
+
+// CacheOp returns a fresh operation code for use with CacheLookup and
+// CacheInsert by client packages (e.g. the approximation algorithms), so
+// they can share the manager's computed table without colliding with the
+// built-in operations or each other.
+func (m *Manager) CacheOp() uint32 {
+	m.userOp++
+	return opUser + m.userOp - 1
+}
+
+// CacheLookup probes the computed table under a client operation code
+// obtained from CacheOp. The returned Ref, on a hit, may be dead: revive it
+// with Ref before creating any node.
+func (m *Manager) CacheLookup(op uint32, a, b, c Ref) (Ref, bool) {
+	return m.cacheLookup(op, a, b, c)
+}
+
+// CacheInsert records a client-computed result in the computed table.
+func (m *Manager) CacheInsert(op uint32, a, b, c Ref, res Ref) {
+	m.cacheInsert(op, a, b, c, res)
+}

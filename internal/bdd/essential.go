@@ -1,0 +1,38 @@
+package bdd
+
+// Essential variables: literals implied by a function. A positive literal
+// x is essential for f when f ≤ x (every satisfying assignment sets x);
+// dually a negative literal when f ≤ ¬x. CUDD exposes this as
+// Cudd_FindEssential; it is used to peel forced literals off reached sets
+// and constraints cheaply.
+
+// FindEssential returns the cube of literals implied by f: the conjunction
+// of every variable (or negation) that all satisfying assignments of f
+// agree on. For f = Zero the answer is undefined and One is returned; for
+// tautologies the cube is One.
+func (m *Manager) FindEssential(f Ref) Ref {
+	if f.IsConstant() {
+		return m.Ref(One)
+	}
+	// A literal at level L is essential iff it dominates every path: x is
+	// essential for f iff f's node has the form (x, t, 0) at every... the
+	// direct characterization is simpler: test containment per support
+	// variable. Containment tests against literals short-circuit fast
+	// (Leq walks one branch), so this stays near-linear in practice.
+	cube := m.Ref(One)
+	for _, v := range m.SupportVars(f) {
+		lit := m.IthVar(v)
+		var chosen Ref
+		if m.Leq(f, lit) {
+			chosen = lit
+		} else if m.Leq(f, lit.Complement()) {
+			chosen = lit.Complement()
+		} else {
+			continue
+		}
+		nc := m.And(cube, chosen)
+		m.Deref(cube)
+		cube = nc
+	}
+	return cube
+}

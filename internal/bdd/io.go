@@ -1,0 +1,212 @@
+package bdd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialization: a line-oriented text format for persisting BDD forests.
+// Nodes are written children-first with local identifiers, so loading is a
+// single bottom-up pass; complement arcs are preserved as signed ids. The
+// format is order-independent: loading rebuilds canonical nodes under the
+// destination manager's current variable order.
+//
+//	bddkit-bdd v1
+//	vars 12
+//	nodes 3
+//	1 4 +0 -0        # node 1: var 4, hi = One, lo = Zero
+//	2 2 +1 -1
+//	3 0 +2 -0
+//	roots 1
+//	f +3
+//
+// References are +id (regular) or -id (complemented); id 0 is the constant
+// One, so -0 is written for Zero and parsed specially.
+
+const ioMagic = "bddkit-bdd v1"
+
+// Save writes the forest rooted at the named functions.
+func (m *Manager) Save(w io.Writer, names []string, roots []Ref) error {
+	if len(names) != len(roots) {
+		return fmt.Errorf("bdd: Save: %d names for %d roots", len(names), len(roots))
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, ioMagic)
+	fmt.Fprintf(bw, "vars %d\n", m.NumVars())
+
+	// Assign local ids in children-first order.
+	local := map[uint32]int{One.ID(): 0}
+	var order []Ref // regular refs, children first
+	var visit func(r Ref)
+	visit = func(r Ref) {
+		if _, ok := local[r.ID()]; ok {
+			return
+		}
+		visit(m.StructHi(r))
+		visit(m.StructLo(r))
+		local[r.ID()] = len(order) + 1
+		order = append(order, r.Regular())
+	}
+	for _, r := range roots {
+		if !r.IsConstant() {
+			visit(r.Regular())
+		}
+	}
+	enc := func(r Ref) string {
+		sign := "+"
+		if r.IsComplement() {
+			sign = "-"
+		}
+		return fmt.Sprintf("%s%d", sign, local[r.ID()])
+	}
+	fmt.Fprintf(bw, "nodes %d\n", len(order))
+	for _, r := range order {
+		fmt.Fprintf(bw, "%d %d %s %s\n", local[r.ID()], m.Var(r), enc(m.StructHi(r)), enc(m.StructLo(r)))
+	}
+	fmt.Fprintf(bw, "roots %d\n", len(roots))
+	for i, r := range roots {
+		if strings.ContainsAny(names[i], " \t\n") {
+			return fmt.Errorf("bdd: Save: root name %q contains whitespace", names[i])
+		}
+		fmt.Fprintf(bw, "%s %s\n", names[i], enc(r))
+	}
+	return bw.Flush()
+}
+
+// Load reads a forest saved by Save into this manager, growing the variable
+// set if the file needs more variables. It returns the roots by name, each
+// carrying one reference owned by the caller.
+func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := func() (string, error) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s != "" && !strings.HasPrefix(s, "#") {
+				return s, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	hdr, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if hdr != ioMagic {
+		return nil, fmt.Errorf("bdd: Load: bad magic %q", hdr)
+	}
+	var nvars int
+	if s, err := line(); err != nil || !scan1(s, "vars %d", &nvars) {
+		return nil, fmt.Errorf("bdd: Load: missing vars header")
+	}
+	for m.NumVars() < nvars {
+		m.AddVar()
+	}
+	var nnodes int
+	if s, err := line(); err != nil || !scan1(s, "nodes %d", &nnodes) {
+		return nil, fmt.Errorf("bdd: Load: missing nodes header")
+	}
+	// byID[i] holds the regular function for local id i; all are owned
+	// here and released on return.
+	byID := make([]Ref, nnodes+1)
+	byID[0] = One
+	// release drops the construction references; unfilled slots hold the
+	// constant One, for which Deref is a no-op.
+	release := func() {
+		for _, f := range byID[1:] {
+			m.Deref(f)
+		}
+	}
+	filled := 0
+	dec := func(tok string) (Ref, error) {
+		if len(tok) < 2 || (tok[0] != '+' && tok[0] != '-') {
+			return 0, fmt.Errorf("bdd: Load: bad ref %q", tok)
+		}
+		id, err := strconv.Atoi(tok[1:])
+		if err != nil || id < 0 || id > filled {
+			return 0, fmt.Errorf("bdd: Load: forward or invalid ref %q", tok)
+		}
+		f := byID[id]
+		if tok[0] == '-' {
+			f = f.Complement()
+		}
+		return f, nil
+	}
+	for i := 1; i <= nnodes; i++ {
+		s, err := line()
+		if err != nil {
+			release()
+			return nil, err
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 4 {
+			release()
+			return nil, fmt.Errorf("bdd: Load: bad node line %q", s)
+		}
+		id, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || id != i || v < 0 || v >= m.NumVars() {
+			release()
+			return nil, fmt.Errorf("bdd: Load: bad node header in %q", s)
+		}
+		hi, err := dec(fields[2])
+		if err != nil {
+			release()
+			return nil, err
+		}
+		lo, err := dec(fields[3])
+		if err != nil {
+			release()
+			return nil, err
+		}
+		byID[i] = m.ITE(m.IthVar(v), hi, lo)
+		filled = i
+	}
+	var nroots int
+	if s, err := line(); err != nil || !scan1(s, "roots %d", &nroots) {
+		release()
+		return nil, fmt.Errorf("bdd: Load: missing roots header")
+	}
+	out := make(map[string]Ref, nroots)
+	for i := 0; i < nroots; i++ {
+		s, err := line()
+		if err != nil {
+			for _, f := range out {
+				m.Deref(f)
+			}
+			release()
+			return nil, err
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 2 {
+			for _, f := range out {
+				m.Deref(f)
+			}
+			release()
+			return nil, fmt.Errorf("bdd: Load: bad root line %q", s)
+		}
+		f, err := dec(fields[1])
+		if err != nil {
+			for _, fr := range out {
+				m.Deref(fr)
+			}
+			release()
+			return nil, err
+		}
+		out[fields[0]] = m.Ref(f)
+	}
+	release()
+	return out, nil
+}
+
+// scan1 parses one integer with the given format.
+func scan1(s, format string, v *int) bool {
+	n, err := fmt.Sscanf(s, format, v)
+	return err == nil && n == 1
+}

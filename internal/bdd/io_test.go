@@ -1,0 +1,219 @@
+package bdd
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	const n = 10
+	m := New(n)
+	rng := rand.New(rand.NewSource(55))
+	var names []string
+	var roots []Ref
+	for i := 0; i < 5; i++ {
+		f := randFromTrees(m, rng, n, 6)
+		names = append(names, string(rune('a'+i)))
+		roots = append(roots, f)
+	}
+	roots = append(roots, One, Zero)
+	names = append(names, "one", "zero")
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf, names, roots); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a fresh manager and compare truth tables.
+	m2 := New(0)
+	loaded, err := m2.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumVars() != n {
+		t.Fatalf("loaded manager has %d vars, want %d", m2.NumVars(), n)
+	}
+	for i, name := range names {
+		g, ok := loaded[name]
+		if !ok {
+			t.Fatalf("root %q missing", name)
+		}
+		a, b := truthTable(m, roots[i], n), truthTable(m2, g, n)
+		for x := range a {
+			if a[x] != b[x] {
+				t.Fatalf("root %q differs at minterm %d", name, x)
+			}
+		}
+	}
+	// Loading into the SAME manager must reproduce identical refs
+	// (canonicity).
+	loaded2, err := m.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if loaded2[name] != roots[i] {
+			t.Fatalf("same-manager reload of %q is not canonical", name)
+		}
+	}
+	for _, f := range loaded {
+		m2.Deref(f)
+	}
+	for _, f := range loaded2 {
+		m.Deref(f)
+	}
+	for _, f := range roots[:5] {
+		m.Deref(f)
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	m2.GarbageCollect()
+	if got := m2.ReferencedNodeCount(); got != m2.PermanentNodeCount()-1 {
+		t.Fatalf("load leaked: %d live internal nodes", got)
+	}
+}
+
+func TestSaveLoadAcrossReorder(t *testing.T) {
+	// Saving under one order and loading under another yields the same
+	// functions.
+	const n = 8
+	m := New(n)
+	rng := rand.New(rand.NewSource(66))
+	f := randFromTrees(m, rng, n, 5)
+	tt := truthTable(m, f, n)
+	var buf bytes.Buffer
+	if err := m.Save(&buf, []string{"f"}, []Ref{f}); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(n)
+	// Scramble m2's order before loading.
+	m2.Reorder(ReorderSift, SiftConfig{})
+	g := m2.And(m2.IthVar(3), m2.IthVar(6)) // populate, then reorder
+	m2.Reorder(ReorderSiftConverge, SiftConfig{})
+	m2.Deref(g)
+	loaded, err := m2.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := truthTable(m2, loaded["f"], n)
+	for x := range tt {
+		if tt[x] != got[x] {
+			t.Fatalf("cross-order load differs at %d", x)
+		}
+	}
+	m2.Deref(loaded["f"])
+	m.Deref(f)
+}
+
+func TestLoadErrors(t *testing.T) {
+	m := New(2)
+	cases := map[string]string{
+		"bad magic":   "nope v9\n",
+		"no vars":     "bddkit-bdd v1\nnodes 0\n",
+		"forward ref": "bddkit-bdd v1\nvars 2\nnodes 1\n1 0 +5 -0\nroots 0\n",
+		"bad node":    "bddkit-bdd v1\nvars 2\nnodes 1\nxx\nroots 0\n",
+		"bad var":     "bddkit-bdd v1\nvars 2\nnodes 1\n1 9 +0 -0\nroots 0\n",
+		"truncated":   "bddkit-bdd v1\nvars 2\nnodes 2\n1 0 +0 -0\n",
+	}
+	for name, src := range cases {
+		if _, err := m.Load(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	m.GarbageCollect()
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBooleanDiff(t *testing.T) {
+	const n = 6
+	m := New(n)
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 20; iter++ {
+		f := randFromTrees(m, rng, n, 4)
+		for v := 0; v < n; v++ {
+			d := m.BooleanDiff(f, v)
+			tf, td := truthTable(m, f, n), truthTable(m, d, n)
+			for x := range td {
+				x1 := x | 1<<uint(v)
+				x0 := x &^ (1 << uint(v))
+				if td[x] != (tf[x1] != tf[x0]) {
+					t.Fatal("BooleanDiff wrong")
+				}
+			}
+			m.Deref(d)
+		}
+		m.Deref(f)
+	}
+}
+
+func TestFindEssential(t *testing.T) {
+	const n = 8
+	m := New(n)
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 25; iter++ {
+		f := randFromTrees(m, rng, n, 5)
+		if f == Zero {
+			m.Deref(f)
+			continue
+		}
+		ess := m.FindEssential(f)
+		// Every literal in the cube must be implied by f.
+		if !m.Leq(f, ess) {
+			t.Fatal("essential cube not implied by f")
+		}
+		// Completeness: conjoin f with a fresh forced literal and check
+		// the literal is detected.
+		v := rng.Intn(n)
+		lit := m.IthVar(v)
+		if rng.Intn(2) == 0 {
+			lit = lit.Complement()
+		}
+		g := m.And(f, lit)
+		if g != Zero {
+			ess2 := m.FindEssential(g)
+			if !m.Leq(ess2, lit) {
+				t.Fatal("forced literal not found essential")
+			}
+			m.Deref(ess2)
+		}
+		m.Deref(g)
+		m.Deref(ess)
+		m.Deref(f)
+	}
+	// A cube is entirely essential.
+	c := m.CubeFromVars([]int{1, 3, 5})
+	ess := m.FindEssential(c)
+	if ess != c {
+		t.Fatal("cube's essential set is not itself")
+	}
+	m.Deref(c)
+	m.Deref(ess)
+}
+
+func TestIntersect(t *testing.T) {
+	const n = 8
+	m := New(n)
+	rng := rand.New(rand.NewSource(88))
+	for iter := 0; iter < 40; iter++ {
+		f := randFromTrees(m, rng, n, 5)
+		g := randFromTrees(m, rng, n, 5)
+		and := m.And(f, g)
+		want := and != Zero
+		if got := m.Intersect(f, g); got != want {
+			t.Fatalf("Intersect = %v, want %v", got, want)
+		}
+		m.Deref(f)
+		m.Deref(g)
+		m.Deref(and)
+	}
+	// Disjoint by construction.
+	x := m.IthVar(0)
+	if m.Intersect(x, x.Complement()) {
+		t.Fatal("x intersects ¬x")
+	}
+}

@@ -1,0 +1,209 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSwapInPlacePreservesFunctions(t *testing.T) {
+	const n = 6
+	m := New(n)
+	rng := rand.New(rand.NewSource(31))
+	var fs []Ref
+	var tts [][]bool
+	for i := 0; i < 8; i++ {
+		f := randomOnSet(m, rng, n, 0.5)
+		fs = append(fs, f)
+		tts = append(tts, truthTable(m, f, n))
+	}
+	m.GarbageCollect()
+	m.cache.clear()
+	m.noGC = true
+	for lev := 0; lev < n-1; lev++ {
+		m.swapInPlace(lev)
+		if err := m.DebugCheck(); err != nil {
+			t.Fatalf("after swap %d: %v", lev, err)
+		}
+		for i, f := range fs {
+			got := truthTable(m, f, n)
+			for x := range got {
+				if got[x] != tts[i][x] {
+					t.Fatalf("swap %d changed function %d at minterm %d", lev, i, x)
+				}
+			}
+		}
+	}
+	m.noGC = false
+	for _, f := range fs {
+		m.Deref(f)
+	}
+}
+
+func TestReorderPreservesFunctions(t *testing.T) {
+	const n = 8
+	m := New(n)
+	rng := rand.New(rand.NewSource(77))
+	var fs []Ref
+	var tts [][]bool
+	for i := 0; i < 10; i++ {
+		f := randomOnSet(m, rng, n, 0.45)
+		fs = append(fs, f)
+		tts = append(tts, truthTable(m, f, n))
+	}
+	m.Reorder(ReorderSift, SiftConfig{})
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fs {
+		got := truthTable(m, f, n)
+		for x := range got {
+			if got[x] != tts[i][x] {
+				t.Fatalf("reorder changed function %d at minterm %d", i, x)
+			}
+		}
+	}
+	// The level maps must remain inverse permutations.
+	for v := 0; v < n; v++ {
+		if int(m.levToVar[m.varToLev[v]]) != v {
+			t.Fatal("varToLev/levToVar inconsistent")
+		}
+	}
+	for _, f := range fs {
+		m.Deref(f)
+	}
+}
+
+// TestSiftingImprovesBadOrder checks that sifting recovers the linear-size
+// order for the function x0·x_k + x1·x_{k+1} + ... whose interleaved order
+// is exponential.
+func TestSiftingImprovesBadOrder(t *testing.T) {
+	const k = 7
+	m := New(2 * k)
+	// Deliberately bad pairing under the identity order: pair i with k+i.
+	f := Zero
+	for i := 0; i < k; i++ {
+		p := m.And(m.IthVar(i), m.IthVar(k+i))
+		nf := m.Or(f, p)
+		m.Deref(p)
+		m.Deref(f)
+		f = nf
+	}
+	before := m.DagSize(f)
+	m.Reorder(ReorderSiftConverge, SiftConfig{})
+	after := m.DagSize(f)
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// The optimal size is 2k+2 nodes (including the constant); allow a
+	// small amount of slack since sifting is a local search.
+	if after > 4*k {
+		t.Fatalf("sifting left %d nodes (before %d, optimal ~%d)", after, before, 2*k+2)
+	}
+	if after >= before {
+		t.Fatalf("sifting did not improve: before %d after %d", before, after)
+	}
+	m.Deref(f)
+}
+
+func TestAutoReorderTriggers(t *testing.T) {
+	const k = 6
+	m := New(2 * k)
+	m.EnableAutoReorder(30)
+	f := Zero
+	for i := 0; i < k; i++ {
+		p := m.And(m.IthVar(i), m.IthVar(k+i))
+		nf := m.Or(f, p)
+		m.Deref(p)
+		m.Deref(f)
+		f = nf
+	}
+	if m.Stats().Reorderings == 0 {
+		t.Fatal("auto reorder never triggered")
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// f must still be the intended function.
+	a := make([]bool, 2*k)
+	a[0], a[k] = true, true
+	if !m.Eval(f, a) {
+		t.Fatal("function corrupted by auto reorder")
+	}
+	m.Deref(f)
+}
+
+func TestReorderKeepsMintermCounts(t *testing.T) {
+	const n = 10
+	m := New(n)
+	rng := rand.New(rand.NewSource(123))
+	var fs []Ref
+	var counts []float64
+	for i := 0; i < 6; i++ {
+		f := randFromTrees(m, rng, n, 5)
+		fs = append(fs, f)
+		counts = append(counts, m.CountMinterm(f, n))
+	}
+	m.Reorder(ReorderSift, SiftConfig{})
+	for i, f := range fs {
+		if got := m.CountMinterm(f, n); got != counts[i] {
+			t.Fatalf("minterm count changed: %v -> %v", counts[i], got)
+		}
+		m.Deref(f)
+	}
+}
+
+// TestReorderWithArenaGrowth forces the node arena to grow during sifting
+// (regression test: node pointers must not be held across makeNode calls
+// inside swapInPlace, since the arena may be reallocated).
+func TestReorderWithArenaGrowth(t *testing.T) {
+	const n = 12
+	cfg := DefaultConfig()
+	cfg.InitialNodes = 2 // grow almost immediately
+	m := NewWithConfig(n, cfg)
+	rng := rand.New(rand.NewSource(5150))
+	var fs []Ref
+	var tts [][]bool
+	for i := 0; i < 6; i++ {
+		f := randFromTrees(m, rng, n, 6)
+		fs = append(fs, f)
+		tts = append(tts, truthTable(m, f, n))
+	}
+	m.Reorder(ReorderSiftConverge, SiftConfig{})
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fs {
+		got := truthTable(m, f, n)
+		for x := range got {
+			if got[x] != tts[i][x] {
+				t.Fatalf("function %d corrupted at %d", i, x)
+			}
+		}
+		m.Deref(f)
+	}
+}
+
+// randFromTrees builds a random function as a depth-d expression tree.
+func randFromTrees(m *Manager, rng *rand.Rand, n, d int) Ref {
+	if d == 0 {
+		v := m.Ref(m.IthVar(rng.Intn(n)))
+		if rng.Intn(2) == 0 {
+			return v.Complement()
+		}
+		return v
+	}
+	a := randFromTrees(m, rng, n, d-1)
+	b := randFromTrees(m, rng, n, d-1)
+	var r Ref
+	switch rng.Intn(3) {
+	case 0:
+		r = m.And(a, b)
+	case 1:
+		r = m.Or(a, b)
+	default:
+		r = m.Xor(a, b)
+	}
+	m.Deref(a)
+	m.Deref(b)
+	return r
+}

@@ -1,0 +1,61 @@
+package bdd
+
+import "sort"
+
+// Support computation.
+
+// SupportVars returns the indices of the variables f depends on, in
+// increasing index order.
+func (m *Manager) SupportVars(f Ref) []int {
+	levels := make(map[int32]struct{})
+	seen := make(map[int32]struct{})
+	m.supportRec(f.index(), seen, levels)
+	vars := make([]int, 0, len(levels))
+	for lev := range levels {
+		vars = append(vars, int(m.levToVar[lev]))
+	}
+	sort.Ints(vars)
+	return vars
+}
+
+func (m *Manager) supportRec(idx int32, seen map[int32]struct{}, levels map[int32]struct{}) {
+	if _, ok := seen[idx]; ok {
+		return
+	}
+	seen[idx] = struct{}{}
+	n := &m.nodes[idx]
+	if n.level == terminalLevel {
+		return
+	}
+	levels[n.level] = struct{}{}
+	m.supportRec(n.hi.index(), seen, levels)
+	m.supportRec(n.lo.index(), seen, levels)
+}
+
+// SupportSize returns the number of variables f depends on.
+func (m *Manager) SupportSize(f Ref) int {
+	levels := make(map[int32]struct{})
+	seen := make(map[int32]struct{})
+	m.supportRec(f.index(), seen, levels)
+	return len(levels)
+}
+
+// SupportCube returns the positive cube of f's support variables.
+func (m *Manager) SupportCube(f Ref) Ref {
+	return m.CubeFromVars(m.SupportVars(f))
+}
+
+// VectorSupport returns the union of the supports of the given functions.
+func (m *Manager) VectorSupport(fs []Ref) []int {
+	levels := make(map[int32]struct{})
+	seen := make(map[int32]struct{})
+	for _, f := range fs {
+		m.supportRec(f.index(), seen, levels)
+	}
+	vars := make([]int, 0, len(levels))
+	for lev := range levels {
+		vars = append(vars, int(m.levToVar[lev]))
+	}
+	sort.Ints(vars)
+	return vars
+}

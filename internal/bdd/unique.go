@@ -1,0 +1,185 @@
+package bdd
+
+// This file implements the unique table (one subtable per variable level),
+// node allocation, and garbage collection.
+//
+// Reference-counting invariants:
+//
+//   - node.ref counts live parents (one per live parent node) plus
+//     references owned by callers (taken with Manager.Ref or granted by an
+//     operation's return value).
+//   - A node with ref == 0 is dead. Dead nodes hold NO references on their
+//     children: the references are dropped when the count reaches zero
+//     (derefIndex) and restored by reclaim when the node comes back to life.
+//   - makeNode requires its children to be alive (the caller owns
+//     references on them) and returns a Ref carrying one reference owned by
+//     the caller. Every recursive operation helper follows the same
+//     convention, so freshly built results stay alive throughout and die as
+//     a whole when the user releases the root.
+//   - Garbage collection only runs inside allocation or on explicit
+//     request; at those points everything reachable from the recursion
+//     stacks is referenced, so GC is always safe.
+
+const (
+	initialBucketBits = 6
+	// A subtable doubles when its population exceeds loadFactor times the
+	// bucket count.
+	loadFactor = 4
+)
+
+func newSubtable() subtable {
+	n := 1 << initialBucketBits
+	st := subtable{buckets: make([]int32, n), mask: uint32(n - 1)}
+	for i := range st.buckets {
+		st.buckets[i] = nilIndex
+	}
+	return st
+}
+
+// hash3 mixes a level and two refs into a bucket index.
+func hash3(level int32, hi, lo Ref) uint32 {
+	h := uint64(uint32(level))*0x9e3779b97f4a7c15 + uint64(hi)*0xbf58476d1ce4e5b9 + uint64(lo)*0x94d049bb133111eb
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return uint32(h)
+}
+
+// makeNode returns the canonical node (level, hi, lo), creating it if
+// needed. It implements the two ROBDD reduction rules and the
+// complement-arc normalization (the then edge is never complemented).
+//
+// Contract: hi and lo must be alive (the caller owns references on them, or
+// they are permanent). The returned Ref carries one reference owned by the
+// caller.
+func (m *Manager) makeNode(level int32, hi, lo Ref) Ref {
+	if hi == lo {
+		return m.Ref(hi)
+	}
+	// Normalize: the then edge must be regular.
+	complement := hi.IsComplement()
+	if complement {
+		hi ^= 1
+		lo ^= 1
+	}
+	m.stats.UniqueLookups++
+	st := &m.subtables[level]
+	b := hash3(level, hi, lo) & st.mask
+	for idx := st.buckets[b]; idx != nilIndex; idx = m.nodes[idx].next {
+		n := &m.nodes[idx]
+		if n.hi == hi && n.lo == lo {
+			m.stats.UniqueHits++
+			return m.Ref(makeRef(idx, complement))
+		}
+	}
+	idx := m.allocNode() // may GC; hi and lo are protected by the caller
+	st = &m.subtables[level]
+	b = hash3(level, hi, lo) & st.mask
+	n := &m.nodes[idx]
+	n.level = level
+	n.hi = hi
+	n.lo = lo
+	n.ref = 1 // the caller's reference
+	n.next = st.buckets[b]
+	st.buckets[b] = idx
+	st.count++
+	m.liveCount++
+	// The new live node holds references on its children.
+	m.refChild(hi)
+	m.refChild(lo)
+	if st.count > loadFactor*len(st.buckets) {
+		m.growSubtable(level)
+	}
+	return makeRef(idx, complement)
+}
+
+// refChild adds the reference a newly created (or revived) parent holds on
+// child. The child is known to be alive.
+func (m *Manager) refChild(child Ref) {
+	n := &m.nodes[child.index()]
+	if n.ref != refSaturated {
+		n.ref++
+	}
+}
+
+// allocNode returns a fresh arena slot, reusing the free list when possible
+// and garbage collecting under pressure. GC is only attempted when the
+// arena would have to grow, so cache locality is preserved between
+// collections.
+func (m *Manager) allocNode() int32 {
+	m.checkLimits()
+	if m.free != nilIndex {
+		idx := m.free
+		m.free = m.nodes[idx].next
+		return idx
+	}
+	if !m.noGC && len(m.nodes) == cap(m.nodes) &&
+		m.deadCount > 2048 && float64(m.deadCount) > m.gcFraction*float64(len(m.nodes)) {
+		m.GarbageCollect()
+		if m.free != nilIndex {
+			idx := m.free
+			m.free = m.nodes[idx].next
+			return idx
+		}
+	}
+	m.nodes = append(m.nodes, node{})
+	return int32(len(m.nodes) - 1)
+}
+
+func (m *Manager) growSubtable(level int32) {
+	st := &m.subtables[level]
+	nb := len(st.buckets) * 2
+	buckets := make([]int32, nb)
+	for i := range buckets {
+		buckets[i] = nilIndex
+	}
+	mask := uint32(nb - 1)
+	for _, head := range st.buckets {
+		for idx := head; idx != nilIndex; {
+			next := m.nodes[idx].next
+			n := &m.nodes[idx]
+			b := hash3(level, n.hi, n.lo) & mask
+			n.next = buckets[b]
+			buckets[b] = idx
+			idx = next
+		}
+	}
+	st.buckets = buckets
+	st.mask = mask
+}
+
+// GarbageCollect removes all dead nodes from the unique table, returns them
+// to the free list, and clears the computed cache. Refs to live nodes are
+// unaffected. It returns the number of nodes reclaimed.
+func (m *Manager) GarbageCollect() int {
+	if m.deadCount == 0 {
+		return 0
+	}
+	collected := 0
+	for lev := range m.subtables {
+		st := &m.subtables[lev]
+		for b, head := range st.buckets {
+			var keep int32 = nilIndex
+			for idx := head; idx != nilIndex; {
+				next := m.nodes[idx].next
+				if m.nodes[idx].ref == 0 {
+					m.nodes[idx].next = m.free
+					m.nodes[idx].level = -1
+					m.free = idx
+					st.count--
+					collected++
+				} else {
+					m.nodes[idx].next = keep
+					keep = idx
+				}
+				idx = next
+			}
+			st.buckets[b] = keep
+		}
+	}
+	m.deadCount -= collected
+	m.cache.clear()
+	m.stats.GCs++
+	m.stats.GCNodes += int64(collected)
+	return collected
+}

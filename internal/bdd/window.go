@@ -1,0 +1,56 @@
+package bdd
+
+// Window permutation reordering (Fujita / Ishiura; the companion to
+// sifting in CUDD): slide a window of adjacent levels across the order and
+// exhaustively try every permutation of the variables inside the window,
+// keeping the best. Complements sifting, which moves a single variable
+// globally; windows optimize local clusters.
+
+// ReorderWindow3 runs window permutation with window size 3 across all
+// levels, repeating while it improves. It is invoked through Reorder.
+const ReorderWindow3 ReorderMethod = 100
+
+// windowPass slides a 3-window over every level once; returns true if any
+// window improved the size.
+func (m *Manager) windowPass() bool {
+	improved := false
+	n := len(m.subtables)
+	for lev := 0; lev+2 < n; lev++ {
+		if m.window3(lev) {
+			improved = true
+		}
+	}
+	return improved
+}
+
+// window3 exhaustively permutes the three variables at lev..lev+2 and
+// keeps the best arrangement. All six permutations are reachable through
+// a fixed sequence of adjacent swaps (the classic "bubble" walk):
+//
+//	abc -s0-> bac -s1-> bca -s0-> cba -s1-> cab -s0-> acb -s1-> abc
+//
+// After the walk the order is restored; the best prefix of the walk is
+// then replayed.
+func (m *Manager) window3(lev int) bool {
+	s0 := lev     // swap levels lev, lev+1
+	s1 := lev + 1 // swap levels lev+1, lev+2
+	walk := [6]int{s0, s1, s0, s1, s0, s1}
+	bestSize := m.liveCount
+	bestStep := -1 // -1 = original arrangement
+	for i, s := range walk[:5] {
+		size := m.swapInPlace(s)
+		if size < bestSize {
+			bestSize = size
+			bestStep = i
+		}
+	}
+	// Final swap returns to the original arrangement.
+	m.swapInPlace(walk[5])
+	if bestStep < 0 {
+		return false
+	}
+	for _, s := range walk[:bestStep+1] {
+		m.swapInPlace(s)
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWindow3PreservesFunctions(t *testing.T) {
+	const n = 7
+	m := New(n)
+	rng := rand.New(rand.NewSource(91))
+	var fs []Ref
+	var tts [][]bool
+	for i := 0; i < 6; i++ {
+		f := randFromTrees(m, rng, n, 5)
+		fs = append(fs, f)
+		tts = append(tts, truthTable(m, f, n))
+	}
+	before := m.liveCount
+	m.Reorder(ReorderWindow3, SiftConfig{})
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if m.liveCount > before {
+		t.Fatalf("window reorder grew the table: %d -> %d", before, m.liveCount)
+	}
+	for i, f := range fs {
+		got := truthTable(m, f, n)
+		for x := range got {
+			if got[x] != tts[i][x] {
+				t.Fatalf("window reorder changed function %d", i)
+			}
+		}
+		m.Deref(f)
+	}
+}
+
+// TestExactOrderingOptimal: on the pairable function whose optimal order
+// is known exactly, exact reordering must reach 2k+2 nodes.
+func TestExactOrderingOptimal(t *testing.T) {
+	const k = 3 // 6 variables: 720 permutations
+	m := New(2 * k)
+	f := Zero
+	for i := 0; i < k; i++ {
+		p := m.And(m.IthVar(i), m.IthVar(k+i))
+		nf := m.Or(f, p)
+		m.Deref(p)
+		m.Deref(f)
+		f = nf
+	}
+	m.Reorder(ReorderExact, SiftConfig{})
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: one node per variable in the interleaved order plus the
+	// single (complement-arc) terminal.
+	if got := m.DagSize(f); got != 2*k+1 {
+		t.Fatalf("exact reorder reached %d nodes, optimum is %d", got, 2*k+1)
+	}
+	// The function itself is intact.
+	a := make([]bool, 2*k)
+	a[1], a[k+1] = true, true
+	if !m.Eval(f, a) {
+		t.Fatal("function corrupted")
+	}
+	m.Deref(f)
+}
+
+// TestSiftingNearExact: sifting (a heuristic) must land within a factor of
+// the exact optimum on random small functions — the quality anchor.
+func TestSiftingNearExact(t *testing.T) {
+	const n = 7
+	rng := rand.New(rand.NewSource(501))
+	worst := 0.0
+	for iter := 0; iter < 10; iter++ {
+		seed := rng.Int63()
+		sizeWith := func(method ReorderMethod) int {
+			m := New(n)
+			r2 := rand.New(rand.NewSource(seed))
+			f := randFromTrees(m, r2, n, 6)
+			m.Reorder(method, SiftConfig{})
+			sz := m.DagSize(f)
+			m.Deref(f)
+			return sz
+		}
+		exact := sizeWith(ReorderExact)
+		sift := sizeWith(ReorderSiftConverge)
+		if sift < exact {
+			t.Fatalf("sifting (%d) beat the exact optimum (%d)?", sift, exact)
+		}
+		ratio := float64(sift) / float64(exact)
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 1.6 {
+		t.Fatalf("sifting strayed %.2fx from the exact optimum", worst)
+	}
+	t.Logf("worst sift/exact ratio over the sample: %.3f", worst)
+}

@@ -1,0 +1,81 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation: Table 1 (reachability with approximate traversal), Tables 2
+// and 3 (simple and compound approximation methods over a corpus of large
+// BDDs), and Table 4 (two-way decomposition methods). Each table has a
+// runner that prints rows shaped like the paper's, plus machine-readable
+// result structs consumed by the testing.B benchmarks and the EXPERIMENTS
+// log.
+package bench
+
+import "math"
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries
+// the way CUDD's reporting does (a zero would zero the whole mean).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// WinsTies scores one comparison group: for each case (outer index),
+// scores[method][case] holds the figure of merit; higher is better. A
+// method "wins" a case when it is strictly best, and "ties" when it shares
+// the best value with at least one other method (the paper's Table 2–4
+// convention).
+func WinsTies(scores [][]float64) (wins, ties []int) {
+	if len(scores) == 0 {
+		return nil, nil
+	}
+	nm := len(scores)
+	nc := len(scores[0])
+	wins = make([]int, nm)
+	ties = make([]int, nm)
+	const rel = 1e-9
+	for c := 0; c < nc; c++ {
+		best := math.Inf(-1)
+		for m := 0; m < nm; m++ {
+			if scores[m][c] > best {
+				best = scores[m][c]
+			}
+		}
+		var holders []int
+		for m := 0; m < nm; m++ {
+			if scores[m][c] >= best-rel*math.Abs(best) {
+				holders = append(holders, m)
+			}
+		}
+		if len(holders) == 1 {
+			wins[holders[0]]++
+		} else {
+			for _, m := range holders {
+				ties[m]++
+			}
+		}
+	}
+	return wins, ties
+}
+
+// LowerIsBetter flips a score table so WinsTies can rank minimization
+// objectives (e.g. Table 4's "size of the larger factor").
+func LowerIsBetter(scores [][]float64) [][]float64 {
+	out := make([][]float64, len(scores))
+	for i, row := range scores {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			out[i][j] = -v
+		}
+	}
+	return out
+}

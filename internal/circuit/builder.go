@@ -1,0 +1,321 @@
+package circuit
+
+import "fmt"
+
+// Builder constructs netlists programmatically. It deduplicates named
+// signals and offers word-level helpers (buses, adders, multiplexers,
+// registers) used by the synthetic benchmark models.
+type Builder struct {
+	nl   *Netlist
+	anon int
+}
+
+// NewBuilder starts an empty netlist with the given model name.
+func NewBuilder(name string) *Builder {
+	return &Builder{nl: &Netlist{Name: name, byName: make(map[string]Sig)}}
+}
+
+func (b *Builder) add(n Node) Sig {
+	s := Sig(len(b.nl.Nodes))
+	if n.Name != "" {
+		if _, dup := b.nl.byName[n.Name]; dup {
+			panic(fmt.Sprintf("circuit: duplicate signal name %q", n.Name))
+		}
+		b.nl.byName[n.Name] = s
+	}
+	b.nl.Nodes = append(b.nl.Nodes, n)
+	return s
+}
+
+// Input declares a primary input.
+func (b *Builder) Input(name string) Sig {
+	s := b.add(Node{Op: OpInput, Name: name})
+	b.nl.Inputs = append(b.nl.Inputs, s)
+	return s
+}
+
+// InputBus declares width primary inputs name0..name{width-1} (LSB first).
+func (b *Builder) InputBus(name string, width int) []Sig {
+	out := make([]Sig, width)
+	for i := range out {
+		out[i] = b.Input(fmt.Sprintf("%s%d", name, i))
+	}
+	return out
+}
+
+// Latch declares a state element with the given reset value; its
+// next-state input is connected later with SetNext.
+func (b *Builder) Latch(name string, init bool) Sig {
+	s := b.add(Node{Op: OpLatch, Name: name})
+	b.nl.Latches = append(b.nl.Latches, Latch{Q: s, Next: -1, Init: init})
+	return s
+}
+
+// LatchBus declares a register of the given width with reset value init
+// (LSB first).
+func (b *Builder) LatchBus(name string, width int, init uint64) []Sig {
+	out := make([]Sig, width)
+	for i := range out {
+		out[i] = b.Latch(fmt.Sprintf("%s%d", name, i), init>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+// SetNext wires the next-state input of latch q.
+func (b *Builder) SetNext(q, next Sig) {
+	for i := range b.nl.Latches {
+		if b.nl.Latches[i].Q == q {
+			b.nl.Latches[i].Next = next
+			return
+		}
+	}
+	panic("circuit: SetNext on a non-latch signal")
+}
+
+// SetNextBus wires a whole register.
+func (b *Builder) SetNextBus(q, next []Sig) {
+	if len(q) != len(next) {
+		panic("circuit: SetNextBus width mismatch")
+	}
+	for i := range q {
+		b.SetNext(q[i], next[i])
+	}
+}
+
+// Output marks a signal as a primary output under the given name.
+func (b *Builder) Output(name string, s Sig) {
+	b.nl.Outputs = append(b.nl.Outputs, s)
+	b.nl.OutName = append(b.nl.OutName, name)
+}
+
+// OutputBus marks a bus of outputs name0.. (LSB first).
+func (b *Builder) OutputBus(name string, sigs []Sig) {
+	for i, s := range sigs {
+		b.Output(fmt.Sprintf("%s%d", name, i), s)
+	}
+}
+
+// Const returns the constant signal.
+func (b *Builder) Const(v bool) Sig {
+	if v {
+		return b.add(Node{Op: OpConst1})
+	}
+	return b.add(Node{Op: OpConst0})
+}
+
+// ConstBus returns width constant signals encoding value (LSB first).
+func (b *Builder) ConstBus(value uint64, width int) []Sig {
+	out := make([]Sig, width)
+	for i := range out {
+		out[i] = b.Const(value>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+// gate creates an anonymous logic gate.
+func (b *Builder) gate(op Op, in ...Sig) Sig {
+	b.anon++
+	return b.add(Node{Op: op, In: in})
+}
+
+// Not returns ¬a.
+func (b *Builder) Not(a Sig) Sig { return b.gate(OpNot, a) }
+
+// And returns the conjunction of its arguments (≥2).
+func (b *Builder) And(in ...Sig) Sig { return b.nary(OpAnd, in) }
+
+// Or returns the disjunction of its arguments (≥2).
+func (b *Builder) Or(in ...Sig) Sig { return b.nary(OpOr, in) }
+
+// Xor returns the parity of its arguments (≥2).
+func (b *Builder) Xor(in ...Sig) Sig { return b.nary(OpXor, in) }
+
+// Nand, Nor, Xnor mirror their positive forms.
+func (b *Builder) Nand(in ...Sig) Sig { return b.nary(OpNand, in) }
+func (b *Builder) Nor(in ...Sig) Sig  { return b.nary(OpNor, in) }
+func (b *Builder) Xnor(in ...Sig) Sig { return b.nary(OpXnor, in) }
+
+func (b *Builder) nary(op Op, in []Sig) Sig {
+	if len(in) < 2 {
+		panic(fmt.Sprintf("circuit: %v needs at least 2 operands", op))
+	}
+	return b.gate(op, in...)
+}
+
+// Mux returns sel ? a : b.
+func (b *Builder) Mux(sel, a, bb Sig) Sig { return b.gate(OpMux, sel, a, bb) }
+
+// MuxBus selects between two buses.
+func (b *Builder) MuxBus(sel Sig, a, bb []Sig) []Sig {
+	if len(a) != len(bb) {
+		panic("circuit: MuxBus width mismatch")
+	}
+	out := make([]Sig, len(a))
+	for i := range out {
+		out[i] = b.Mux(sel, a[i], bb[i])
+	}
+	return out
+}
+
+// MuxN selects among 2^len(sel) buses with a binary-encoded selector
+// (sel LSB first); the bus list must have exactly that length.
+func (b *Builder) MuxN(sel []Sig, buses [][]Sig) []Sig {
+	if len(buses) != 1<<uint(len(sel)) {
+		panic("circuit: MuxN needs 2^|sel| buses")
+	}
+	if len(sel) == 0 {
+		return buses[0]
+	}
+	hiHalf := b.MuxN(sel[:len(sel)-1], buses[len(buses)/2:])
+	loHalf := b.MuxN(sel[:len(sel)-1], buses[:len(buses)/2])
+	return b.MuxBus(sel[len(sel)-1], hiHalf, loHalf)
+}
+
+// Adder returns the sum bus (same width as the operands) and the carry out:
+// a ripple-carry adder with optional carry in.
+func (b *Builder) Adder(a, bb []Sig, cin Sig) (sum []Sig, cout Sig) {
+	if len(a) != len(bb) {
+		panic("circuit: Adder width mismatch")
+	}
+	c := cin
+	sum = make([]Sig, len(a))
+	for i := range a {
+		sum[i] = b.Xor(a[i], bb[i], c)
+		c = b.Or(b.And(a[i], bb[i]), b.And(c, b.Xor(a[i], bb[i])))
+	}
+	return sum, c
+}
+
+// Incrementer returns a+1 (same width) and the carry out.
+func (b *Builder) Incrementer(a []Sig) (sum []Sig, cout Sig) {
+	c := b.Const(true)
+	sum = make([]Sig, len(a))
+	for i := range a {
+		sum[i] = b.Xor(a[i], c)
+		c = b.And(a[i], c)
+	}
+	return sum, c
+}
+
+// Decrementer returns a-1 (same width).
+func (b *Builder) Decrementer(a []Sig) []Sig {
+	// a - 1 = a + 0xFF..F
+	ones := make([]Sig, len(a))
+	one := b.Const(true)
+	for i := range ones {
+		ones[i] = one
+	}
+	sum, _ := b.Adder(a, ones, b.Const(false))
+	return sum
+}
+
+// Subtractor returns a-b (two's complement) and the borrow-free carry.
+func (b *Builder) Subtractor(a, bb []Sig) (diff []Sig, cout Sig) {
+	nb := make([]Sig, len(bb))
+	for i := range bb {
+		nb[i] = b.Not(bb[i])
+	}
+	return b.Adder(a, nb, b.Const(true))
+}
+
+// Multiplier returns the 2n-bit product of two n-bit buses (array
+// multiplier; its middle product bits are classic hard functions for
+// BDDs, which the Table 2–4 corpus exploits).
+func (b *Builder) Multiplier(a, bb []Sig) []Sig {
+	n := len(a)
+	if len(bb) != n {
+		panic("circuit: Multiplier width mismatch")
+	}
+	zero := b.Const(false)
+	acc := make([]Sig, 2*n)
+	for i := range acc {
+		acc[i] = zero
+	}
+	for i := 0; i < n; i++ {
+		// Partial product a·b_i shifted by i.
+		pp := make([]Sig, 2*n)
+		for k := range pp {
+			pp[k] = zero
+		}
+		for j := 0; j < n; j++ {
+			pp[i+j] = b.And(a[j], bb[i])
+		}
+		acc, _ = b.Adder(acc, pp, zero)
+	}
+	return acc
+}
+
+// EqConst returns a signal that is true when the bus equals value.
+func (b *Builder) EqConst(a []Sig, value uint64) Sig {
+	terms := make([]Sig, len(a))
+	for i := range a {
+		if value>>uint(i)&1 == 1 {
+			terms[i] = a[i]
+		} else {
+			terms[i] = b.Not(a[i])
+		}
+	}
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return b.And(terms...)
+}
+
+// Eq returns a signal true when the two buses are equal.
+func (b *Builder) Eq(x, y []Sig) Sig {
+	if len(x) != len(y) {
+		panic("circuit: Eq width mismatch")
+	}
+	terms := make([]Sig, len(x))
+	for i := range x {
+		terms[i] = b.Xnor(x[i], y[i])
+	}
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return b.And(terms...)
+}
+
+// Less returns a signal true when bus x < bus y (unsigned).
+func (b *Builder) Less(x, y []Sig) Sig {
+	if len(x) != len(y) {
+		panic("circuit: Less width mismatch")
+	}
+	// x < y iff x - y borrows: with two's-complement subtraction the
+	// carry out is 0 exactly when x < y.
+	_, cout := b.Subtractor(x, y)
+	return b.Not(cout)
+}
+
+// IsZero returns a signal true when every bit of the bus is 0.
+func (b *Builder) IsZero(a []Sig) Sig {
+	if len(a) == 1 {
+		return b.Not(a[0])
+	}
+	return b.Nor(a...)
+}
+
+// Build validates and returns the netlist. Latches with unconnected
+// next-state inputs are an error.
+func (b *Builder) Build() (*Netlist, error) {
+	for i, l := range b.nl.Latches {
+		if l.Next < 0 {
+			return nil, fmt.Errorf("circuit %s: latch %d (%s) has no next-state",
+				b.nl.Name, i, b.nl.NameOf(l.Q))
+		}
+	}
+	if err := b.nl.Validate(); err != nil {
+		return nil, err
+	}
+	return b.nl, nil
+}
+
+// MustBuild is Build for static model constructors that cannot fail at
+// runtime once correct.
+func (b *Builder) MustBuild() *Netlist {
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}

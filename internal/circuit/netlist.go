@@ -1,0 +1,329 @@
+// Package circuit provides the gate-level substrate of the reproduction: a
+// netlist representation with latches, a programmatic builder with
+// word-level helpers (adders, multipliers, multiplexers, registers), a
+// small text format, a cycle-accurate boolean simulator, and compilation of
+// netlists into BDDs (output functions and next-state functions) for the
+// reachability and approximation experiments.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is a gate operation.
+type Op uint8
+
+// Gate operations. Input, Const0/Const1 and Latch outputs are sources;
+// the others combine fan-ins.
+const (
+	OpInput Op = iota
+	OpConst0
+	OpConst1
+	OpLatch // the Q output of a latch; its next-state is a separate signal
+	OpBuf
+	OpNot
+	OpAnd
+	OpOr
+	OpNand
+	OpNor
+	OpXor
+	OpXnor
+	OpMux // Mux(sel, a, b) = sel ? a : b
+)
+
+var opNames = map[Op]string{
+	OpInput: "INPUT", OpConst0: "ZERO", OpConst1: "ONE", OpLatch: "LATCH",
+	OpBuf: "BUF", OpNot: "NOT", OpAnd: "AND", OpOr: "OR", OpNand: "NAND",
+	OpNor: "NOR", OpXor: "XOR", OpXnor: "XNOR", OpMux: "MUX",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// opByName inverts opNames for the parser.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op)
+	for op, n := range opNames {
+		m[n] = op
+	}
+	return m
+}()
+
+// Sig identifies a signal (the output of one gate) within a netlist.
+type Sig int32
+
+// Node is one gate of the netlist.
+type Node struct {
+	Op   Op
+	Name string // optional; auto-generated when empty
+	In   []Sig
+}
+
+// Latch is a state element: Q is its output signal (an OpLatch node), Next
+// the signal feeding its next-state input, and Init its reset value.
+type Latch struct {
+	Q    Sig
+	Next Sig
+	Init bool
+}
+
+// Netlist is a combinational network plus latches. Build instances with a
+// Builder; direct mutation is possible but Validate should pass afterwards.
+type Netlist struct {
+	Name    string
+	Nodes   []Node
+	Inputs  []Sig
+	Latches []Latch
+	Outputs []Sig
+	OutName []string // names aligned with Outputs
+
+	byName map[string]Sig
+}
+
+// NumGates returns the number of logic gates (excluding sources).
+func (n *Netlist) NumGates() int {
+	c := 0
+	for _, nd := range n.Nodes {
+		switch nd.Op {
+		case OpInput, OpConst0, OpConst1, OpLatch:
+		default:
+			c++
+		}
+	}
+	return c
+}
+
+// SignalByName returns the signal with the given name.
+func (n *Netlist) SignalByName(name string) (Sig, bool) {
+	s, ok := n.byName[name]
+	return s, ok
+}
+
+// NameOf returns the name of a signal, generating one if it was anonymous.
+func (n *Netlist) NameOf(s Sig) string {
+	if nm := n.Nodes[s].Name; nm != "" {
+		return nm
+	}
+	return fmt.Sprintf("n%d", s)
+}
+
+// Validate checks structural sanity: fan-in arities, latch wiring, and
+// acyclicity of the combinational part.
+func (n *Netlist) Validate() error {
+	for i, nd := range n.Nodes {
+		switch nd.Op {
+		case OpInput, OpConst0, OpConst1, OpLatch:
+			if len(nd.In) != 0 {
+				return fmt.Errorf("%s: source node %d has fan-ins", n.Name, i)
+			}
+		case OpBuf, OpNot:
+			if len(nd.In) != 1 {
+				return fmt.Errorf("%s: node %d: %v needs 1 fan-in", n.Name, i, nd.Op)
+			}
+		case OpMux:
+			if len(nd.In) != 3 {
+				return fmt.Errorf("%s: node %d: MUX needs 3 fan-ins", n.Name, i)
+			}
+		default:
+			if len(nd.In) < 2 {
+				return fmt.Errorf("%s: node %d: %v needs ≥2 fan-ins", n.Name, i, nd.Op)
+			}
+		}
+		for _, in := range nd.In {
+			if in < 0 || int(in) >= len(n.Nodes) {
+				return fmt.Errorf("%s: node %d: dangling fan-in %d", n.Name, i, in)
+			}
+		}
+	}
+	for i, l := range n.Latches {
+		if n.Nodes[l.Q].Op != OpLatch {
+			return fmt.Errorf("%s: latch %d: Q is not a latch node", n.Name, i)
+		}
+		if l.Next < 0 || int(l.Next) >= len(n.Nodes) {
+			return fmt.Errorf("%s: latch %d: dangling next", n.Name, i)
+		}
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the node indices in a topological order of the
+// combinational dependencies (latch outputs are sources). It fails on
+// combinational cycles.
+func (n *Netlist) TopoOrder() ([]Sig, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(n.Nodes))
+	order := make([]Sig, 0, len(n.Nodes))
+	var visit func(s Sig) error
+	visit = func(s Sig) error {
+		switch color[s] {
+		case gray:
+			return fmt.Errorf("%s: combinational cycle through %s", n.Name, n.NameOf(s))
+		case black:
+			return nil
+		}
+		color[s] = gray
+		for _, in := range n.Nodes[s].In {
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		color[s] = black
+		order = append(order, s)
+		return nil
+	}
+	for s := range n.Nodes {
+		if err := visit(Sig(s)); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// evalOp applies a gate operation to boolean fan-in values.
+func evalOp(op Op, in []bool) bool {
+	switch op {
+	case OpConst0:
+		return false
+	case OpConst1:
+		return true
+	case OpBuf:
+		return in[0]
+	case OpNot:
+		return !in[0]
+	case OpAnd, OpNand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if op == OpNand {
+			return !v
+		}
+		return v
+	case OpOr, OpNor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if op == OpNor {
+			return !v
+		}
+		return v
+	case OpXor, OpXnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		if op == OpXnor {
+			return !v
+		}
+		return v
+	case OpMux:
+		if in[0] {
+			return in[1]
+		}
+		return in[2]
+	}
+	panic(fmt.Sprintf("circuit: evalOp on source %v", op))
+}
+
+// Simulator evaluates the netlist cycle by cycle; it is the reference
+// semantics the BDD compilation is tested against.
+type Simulator struct {
+	nl       *Netlist
+	order    []Sig
+	state    []bool      // per latch
+	vals     []bool      // per node, current cycle
+	inIdx    map[Sig]int // input signal -> position in nl.Inputs
+	latchIdx map[Sig]int // latch Q signal -> latch index
+}
+
+// NewSimulator creates a simulator with all latches at their reset values.
+func NewSimulator(nl *Netlist) (*Simulator, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		nl:       nl,
+		order:    order,
+		state:    make([]bool, len(nl.Latches)),
+		vals:     make([]bool, len(nl.Nodes)),
+		inIdx:    make(map[Sig]int, len(nl.Inputs)),
+		latchIdx: make(map[Sig]int, len(nl.Latches)),
+	}
+	for i, sig := range nl.Inputs {
+		s.inIdx[sig] = i
+	}
+	for i, l := range nl.Latches {
+		s.latchIdx[l.Q] = i
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Reset returns every latch to its initial value.
+func (s *Simulator) Reset() {
+	for i, l := range s.nl.Latches {
+		s.state[i] = l.Init
+	}
+}
+
+// State returns a copy of the current latch values.
+func (s *Simulator) State() []bool {
+	out := make([]bool, len(s.state))
+	copy(out, s.state)
+	return out
+}
+
+// SetState overrides the current latch values.
+func (s *Simulator) SetState(v []bool) {
+	copy(s.state, v)
+}
+
+// Step evaluates one clock cycle under the given primary-input values
+// (aligned with nl.Inputs) and returns the output values (aligned with
+// nl.Outputs). Latches update after the combinational evaluation.
+func (s *Simulator) Step(inputs []bool) []bool {
+	nl := s.nl
+	for _, sig := range s.order {
+		nd := &nl.Nodes[sig]
+		switch nd.Op {
+		case OpInput:
+			s.vals[sig] = inputs[s.inIdx[sig]]
+		case OpLatch:
+			s.vals[sig] = s.state[s.latchIdx[sig]]
+		default:
+			fanin := make([]bool, len(nd.In))
+			for i, in := range nd.In {
+				fanin[i] = s.vals[in]
+			}
+			s.vals[sig] = evalOp(nd.Op, fanin)
+		}
+	}
+	outs := make([]bool, len(nl.Outputs))
+	for i, sig := range nl.Outputs {
+		outs[i] = s.vals[sig]
+	}
+	for i, l := range nl.Latches {
+		s.state[i] = s.vals[l.Next]
+	}
+	return outs
+}
+
+// SortedSignalNames returns all named signals in lexicographic order
+// (testing and dump helper).
+func (n *Netlist) SortedSignalNames() []string {
+	names := make([]string, 0, len(n.byName))
+	for nm := range n.byName {
+		names = append(names, nm)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,141 @@
+package circuit
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteParseBehavior: writing and reparsing an arbitrary generated
+// netlist preserves its sequential behavior (checked by co-simulation).
+func TestWriteParseBehavior(t *testing.T) {
+	// A register file exercise: two registers, swap/load/hold control.
+	b := NewBuilder("regswap")
+	op := b.InputBus("op", 2)
+	din := b.InputBus("din", 4)
+	ra := b.LatchBus("ra", 4, 5)
+	rb := b.LatchBus("rb", 4, 10)
+	load := b.EqConst(op, 1)
+	swap := b.EqConst(op, 2)
+	raNext := b.MuxBus(load, din, b.MuxBus(swap, rb, ra))
+	rbNext := b.MuxBus(swap, ra, rb)
+	b.SetNextBus(ra, raNext)
+	b.SetNextBus(rb, rbNext)
+	b.OutputBus("ya", ra)
+	b.Output("eq", b.Eq(ra, rb))
+	nl := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, buf.String())
+	}
+	if len(nl2.Latches) != len(nl.Latches) || len(nl2.Inputs) != len(nl.Inputs) {
+		t.Fatal("structure lost in round trip")
+	}
+	s1, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSimulator(nl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic input pattern covering all ops.
+	for i := 0; i < 64; i++ {
+		in := make([]bool, 6)
+		in[0] = i&1 == 1
+		in[1] = i&2 == 2
+		for j := 0; j < 4; j++ {
+			in[2+j] = (i>>uint(j+2))&1 == 1
+		}
+		o1 := s1.Step(in)
+		o2 := s2.Step(in)
+		for k := range o1 {
+			if o1[k] != o2[k] {
+				t.Fatalf("behavior diverged at step %d output %d", i, k)
+			}
+		}
+	}
+}
+
+// TestSimulatorSetStateRoundTrip: State/SetState are inverses.
+func TestSimulatorSetStateRoundTrip(t *testing.T) {
+	b := NewBuilder("tiny")
+	in := b.Input("in")
+	q := b.LatchBus("q", 3, 0)
+	next := b.MuxBus(in, b.ConstBus(7, 3), q)
+	b.SetNextBus(q, next)
+	b.Output("o", q[0])
+	nl := b.MustBuild()
+	sim, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	sim.SetState(want)
+	got := sim.State()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("SetState/State mismatch")
+		}
+	}
+	// State() must be a copy, not an alias.
+	got[0] = !got[0]
+	if sim.State()[0] == got[0] {
+		t.Fatal("State returned an aliased slice")
+	}
+}
+
+// TestBuilderPanics: misuse is rejected loudly.
+func TestBuilderPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("duplicate name", func() {
+		b := NewBuilder("x")
+		b.Input("a")
+		b.Input("a")
+	})
+	expectPanic("SetNext on non-latch", func() {
+		b := NewBuilder("x")
+		a := b.Input("a")
+		b.SetNext(a, a)
+	})
+	expectPanic("adder width mismatch", func() {
+		b := NewBuilder("x")
+		b.Adder(b.InputBus("a", 2), b.InputBus("c", 3), b.Const(false))
+	})
+	expectPanic("MuxN bus count", func() {
+		b := NewBuilder("x")
+		sel := b.InputBus("s", 2)
+		b.MuxN(sel, [][]Sig{b.InputBus("a", 1)})
+	})
+	expectPanic("unary And", func() {
+		b := NewBuilder("x")
+		b.And(b.Input("a"))
+	})
+}
+
+// TestCompileReleasesCleanly: Release leaves only permanent nodes.
+func TestCompileReleasesCleanly(t *testing.T) {
+	nl := buildCounter(5)
+	c, err := Compile(nl, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Release()
+	c.M.GarbageCollect()
+	if got := c.M.ReferencedNodeCount(); got != c.M.PermanentNodeCount()-1 {
+		t.Fatalf("leak after Release: %d live internal nodes, want %d",
+			got, c.M.PermanentNodeCount()-1)
+	}
+}

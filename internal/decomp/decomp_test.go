@@ -1,0 +1,250 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bddkit/internal/bdd"
+)
+
+func buildRandom(m *bdd.Manager, rng *rand.Rand, n, depth int) bdd.Ref {
+	if depth == 0 {
+		v := m.Ref(m.IthVar(rng.Intn(n)))
+		if rng.Intn(2) == 0 {
+			return v.Complement()
+		}
+		return v
+	}
+	a := buildRandom(m, rng, n, depth-1)
+	b := buildRandom(m, rng, n, depth-1)
+	var r bdd.Ref
+	switch rng.Intn(3) {
+	case 0:
+		r = m.And(a, b)
+	case 1:
+		r = m.Or(a, b)
+	default:
+		r = m.Xor(a, b)
+	}
+	m.Deref(a)
+	m.Deref(b)
+	return r
+}
+
+// checkConj verifies G ∧ H == f.
+func checkConj(t *testing.T, m *bdd.Manager, f bdd.Ref, p Pair, name string) {
+	t.Helper()
+	gh := m.And(p.G, p.H)
+	if gh != f {
+		t.Fatalf("%s: G·H != f (|f|=%d |G|=%d |H|=%d)", name, m.DagSize(f), m.DagSize(p.G), m.DagSize(p.H))
+	}
+	m.Deref(gh)
+}
+
+func TestCofactorDecomposition(t *testing.T) {
+	const n = 12
+	m := bdd.New(n)
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 40; iter++ {
+		f := buildRandom(m, rng, n, 7)
+		p := Cofactor(m, f)
+		checkConj(t, m, f, p, "Cofactor")
+		p.Deref(m)
+		d := CofactorDisjunctive(m, f)
+		or := m.Or(d.G, d.H)
+		if or != f {
+			t.Fatal("CofactorDisjunctive: G+H != f")
+		}
+		m.Deref(or)
+		d.Deref(m)
+		m.Deref(f)
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandDecomposition(t *testing.T) {
+	const n = 14
+	m := bdd.New(n)
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 30; iter++ {
+		f := buildRandom(m, rng, n, 8)
+		pts := BandPoints(m, f, DefaultBandConfig())
+		p := Decompose(m, f, pts)
+		checkConj(t, m, f, p, "Band")
+		p.Deref(m)
+		m.Deref(f)
+	}
+}
+
+func TestDisjointDecomposition(t *testing.T) {
+	const n = 14
+	m := bdd.New(n)
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 30; iter++ {
+		f := buildRandom(m, rng, n, 8)
+		pts := DisjointPoints(m, f, DefaultDisjointConfig())
+		p := Decompose(m, f, pts)
+		checkConj(t, m, f, p, "Disjoint")
+		p.Deref(m)
+		m.Deref(f)
+	}
+}
+
+func TestDisjunctiveDual(t *testing.T) {
+	const n = 12
+	m := bdd.New(n)
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 20; iter++ {
+		f := buildRandom(m, rng, n, 7)
+		pts := BandPoints(m, f.Complement(), DefaultBandConfig())
+		p := DecomposeDisjunctive(m, f, pts)
+		or := m.Or(p.G, p.H)
+		if or != f {
+			t.Fatal("disjunctive: G+H != f")
+		}
+		m.Deref(or)
+		p.Deref(m)
+		m.Deref(f)
+	}
+}
+
+func TestDecomposeNoPoints(t *testing.T) {
+	m := bdd.New(6)
+	rng := rand.New(rand.NewSource(5))
+	f := buildRandom(m, rng, 6, 5)
+	p := Decompose(m, f, Points{})
+	checkConj(t, m, f, p, "empty points")
+	p.Deref(m)
+	m.Deref(f)
+}
+
+func TestDecomposeConstants(t *testing.T) {
+	m := bdd.New(4)
+	for _, f := range []bdd.Ref{bdd.One, bdd.Zero} {
+		p := Decompose(m, f, Points{})
+		checkConj(t, m, f, p, "constant")
+		p.Deref(m)
+		c := Cofactor(m, f)
+		checkConj(t, m, f, c, "cofactor constant")
+		c.Deref(m)
+	}
+}
+
+func TestMcMillanDecomposition(t *testing.T) {
+	const n = 12
+	m := bdd.New(n)
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 30; iter++ {
+		f := buildRandom(m, rng, n, 7)
+		fs := McMillan(m, f)
+		back := ConjoinAll(m, fs)
+		if back != f {
+			t.Fatal("McMillan factors do not conjoin to f")
+		}
+		// Each factor must depend only on a prefix of the (level-sorted)
+		// support of f, and the factor count is bounded by the support.
+		if len(fs) > n+1 {
+			t.Fatalf("too many factors: %d", len(fs))
+		}
+		m.Deref(back)
+		for _, fi := range fs {
+			m.Deref(fi)
+		}
+		m.Deref(f)
+	}
+}
+
+// TestEstimateCofactorSize: the estimate must be an upper bound on the true
+// cofactor size and exact when no reductions cascade.
+func TestEstimateCofactorSize(t *testing.T) {
+	const n = 10
+	m := bdd.New(n)
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		f := buildRandom(m, rng, n, 6)
+		for _, v := range m.SupportVars(f) {
+			for _, val := range []bool{false, true} {
+				est := EstimateCofactorSize(m, f, v, val)
+				cof := m.CofactorVar(f, v, val)
+				real := m.DagSize(cof)
+				if real > est {
+					t.Fatalf("estimate %d below real size %d", est, real)
+				}
+				m.Deref(cof)
+			}
+		}
+		m.Deref(f)
+	}
+}
+
+// TestQuickDecomposition: property over random seeds — every method
+// reconstructs f exactly.
+func TestQuickDecomposition(t *testing.T) {
+	const n = 10
+	prop := func(seed int64) bool {
+		m := bdd.New(n)
+		rng := rand.New(rand.NewSource(seed))
+		f := buildRandom(m, rng, n, 6)
+		defer m.Deref(f)
+		for _, pts := range []Points{
+			BandPoints(m, f, DefaultBandConfig()),
+			DisjointPoints(m, f, DefaultDisjointConfig()),
+		} {
+			p := Decompose(m, f, pts)
+			gh := m.And(p.G, p.H)
+			ok := gh == f
+			m.Deref(gh)
+			p.Deref(m)
+			if !ok {
+				return false
+			}
+		}
+		c := Cofactor(m, f)
+		gh := m.And(c.G, c.H)
+		ok := gh == f
+		m.Deref(gh)
+		c.Deref(m)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBalancedSplit: on a function made of two independent halves, the
+// generic decomposition with a point at the natural cut produces factors
+// that are each smaller than f.
+func TestBalancedSplit(t *testing.T) {
+	const k = 6
+	m := bdd.New(2 * k)
+	// f = parity(x0..x5) AND majority-ish(x6..x11): conjunction of two
+	// independent functions.
+	par := m.Ref(bdd.Zero)
+	for i := 0; i < k; i++ {
+		np := m.Xor(par, m.IthVar(i))
+		m.Deref(par)
+		par = np
+	}
+	maj := m.Ref(bdd.Zero)
+	for i := k; i < 2*k-1; i++ {
+		p := m.And(m.IthVar(i), m.IthVar(i+1))
+		nm := m.Or(maj, p)
+		m.Deref(p)
+		m.Deref(maj)
+		maj = nm
+	}
+	f := m.And(par, maj)
+	pts := BandPoints(m, f, DefaultBandConfig())
+	p := Decompose(m, f, pts)
+	checkConj(t, m, f, p, "balanced")
+	if m.DagSize(p.G) >= m.DagSize(f) && m.DagSize(p.H) >= m.DagSize(f) {
+		t.Log("warning: decomposition did not shrink either factor")
+	}
+	p.Deref(m)
+	m.Deref(par)
+	m.Deref(maj)
+	m.Deref(f)
+}

@@ -1,0 +1,259 @@
+package mc
+
+import (
+	"fmt"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+	"bddkit/internal/reach"
+)
+
+// Checker evaluates CTL formulas over a compiled circuit. Satisfaction
+// sets are BDDs over the present-state variables; the temporal operators
+// use the transition relation's PreImage with the standard fixpoint
+// characterizations:
+//
+//	EX f       = Pre(f)
+//	EG f       = gfp Z. f ∧ Pre(Z)
+//	E[f U g]   = lfp Z. g ∨ (f ∧ Pre(Z))
+//
+// and the universal operators by duality. When ReachableOnly is set the
+// checker first computes the reachable states R and evaluates relative to
+// R (the standard "don't care" optimization: satisfaction sets are
+// intersected with R, which also keeps the fixpoint iterates small).
+type Checker struct {
+	C  *circuit.Compiled
+	TR *reach.TR
+
+	atoms   map[string]bdd.Ref
+	reached bdd.Ref // One when not restricted
+	stats   reach.ImageStats
+}
+
+// NewChecker builds a checker. atoms binds atomic-proposition names to
+// state predicates; use DefineLatchAtoms and friends to populate it
+// conveniently. The checker takes its own references on the atom
+// predicates.
+func NewChecker(c *circuit.Compiled, tr *reach.TR, atoms map[string]bdd.Ref) *Checker {
+	ck := &Checker{C: c, TR: tr, atoms: make(map[string]bdd.Ref, len(atoms)), reached: bdd.One}
+	for name, f := range atoms {
+		ck.atoms[name] = c.M.Ref(f)
+	}
+	return ck
+}
+
+// Release drops the checker's references (atoms and the reachable set).
+func (ck *Checker) Release() {
+	for _, f := range ck.atoms {
+		ck.C.M.Deref(f)
+	}
+	ck.atoms = nil
+	ck.C.M.Deref(ck.reached)
+	ck.reached = bdd.One
+}
+
+// DefineAtom binds (or rebinds) one atomic proposition.
+func (ck *Checker) DefineAtom(name string, pred bdd.Ref) {
+	m := ck.C.M
+	if old, ok := ck.atoms[name]; ok {
+		m.Deref(old)
+	}
+	ck.atoms[name] = m.Ref(pred)
+}
+
+// DefineLatchAtoms binds one atom per latch, named after the latch output
+// signal, true when the latch holds 1.
+func (ck *Checker) DefineLatchAtoms() {
+	for i, l := range ck.C.Nl.Latches {
+		ck.DefineAtom(ck.C.Nl.NameOf(l.Q), ck.C.M.IthVar(ck.C.StateVars[i]))
+	}
+}
+
+// RestrictToReachable computes the reachable states (exact BFS) and
+// evaluates subsequent formulas relative to them. Returns the number of
+// reachable states.
+func (ck *Checker) RestrictToReachable(opts reach.Options) (float64, error) {
+	res := ck.TR.BFS(ck.C.Init, opts)
+	if !res.Completed {
+		ck.C.M.Deref(res.Reached)
+		return 0, fmt.Errorf("mc: reachability did not complete within budget")
+	}
+	ck.C.M.Deref(ck.reached)
+	ck.reached = res.Reached
+	return res.States, nil
+}
+
+// Sat returns the set of (reachable, when restricted) states satisfying f.
+// The caller owns the returned reference.
+func (ck *Checker) Sat(f *Formula) (bdd.Ref, error) {
+	if err := f.Validate(); err != nil {
+		return bdd.Zero, err
+	}
+	return ck.sat(f)
+}
+
+func (ck *Checker) sat(f *Formula) (bdd.Ref, error) {
+	m := ck.C.M
+	switch f.op {
+	case opTrue:
+		return m.Ref(ck.reached), nil
+	case opFalse:
+		return bdd.Zero, nil
+	case opAtom:
+		p, ok := ck.atoms[f.name]
+		if !ok {
+			return bdd.Zero, fmt.Errorf("mc: unbound atom %q", f.name)
+		}
+		return m.And(p, ck.reached), nil
+	case opNot:
+		s, err := ck.sat(f.left)
+		if err != nil {
+			return bdd.Zero, err
+		}
+		r := m.Diff(ck.reached, s)
+		m.Deref(s)
+		return r, nil
+	case opAnd, opOr, opImplies:
+		a, err := ck.sat(f.left)
+		if err != nil {
+			return bdd.Zero, err
+		}
+		b, err := ck.sat(f.right)
+		if err != nil {
+			m.Deref(a)
+			return bdd.Zero, err
+		}
+		var r bdd.Ref
+		switch f.op {
+		case opAnd:
+			r = m.And(a, b)
+		case opOr:
+			r = m.Or(a, b)
+		default: // implies, relative to the care set
+			na := m.Diff(ck.reached, a)
+			r = m.Or(na, b)
+			m.Deref(na)
+		}
+		m.Deref(a)
+		m.Deref(b)
+		return r, nil
+	case opEX:
+		s, err := ck.sat(f.left)
+		if err != nil {
+			return bdd.Zero, err
+		}
+		r := ck.pre(s)
+		m.Deref(s)
+		return r, nil
+	case opEF:
+		// EF f = E[true U f]
+		s, err := ck.sat(f.left)
+		if err != nil {
+			return bdd.Zero, err
+		}
+		r := ck.leastFixpoint(m.Ref(ck.reached), s)
+		m.Deref(s)
+		return r, nil
+	case opEU:
+		a, err := ck.sat(f.left)
+		if err != nil {
+			return bdd.Zero, err
+		}
+		b, err := ck.sat(f.right)
+		if err != nil {
+			m.Deref(a)
+			return bdd.Zero, err
+		}
+		r := ck.leastFixpoint(a, b)
+		m.Deref(b)
+		return r, nil
+	case opEG:
+		s, err := ck.sat(f.left)
+		if err != nil {
+			return bdd.Zero, err
+		}
+		r := ck.greatestFixpoint(s)
+		m.Deref(s)
+		return r, nil
+	case opAX:
+		// AX f = ¬EX ¬f
+		return ck.sat(Not(EX(Not(f.left))))
+	case opAF:
+		// AF f = ¬EG ¬f
+		return ck.sat(Not(EG(Not(f.left))))
+	case opAG:
+		// AG f = ¬EF ¬f
+		return ck.sat(Not(EF(Not(f.left))))
+	case opAU:
+		// A[f U g] = ¬( E[¬g U (¬f ∧ ¬g)] ∨ EG ¬g )
+		ng := Not(f.right)
+		return ck.sat(Not(Or(EU(ng, And(Not(f.left), ng)), EG(ng))))
+	}
+	return bdd.Zero, fmt.Errorf("mc: unknown operator")
+}
+
+// pre returns Pre(s) restricted to the care set. The caller owns the
+// result; s is not consumed.
+func (ck *Checker) pre(s bdd.Ref) bdd.Ref {
+	m := ck.C.M
+	p := ck.TR.PreImage(s, &ck.stats)
+	r := m.And(p, ck.reached)
+	m.Deref(p)
+	return r
+}
+
+// leastFixpoint computes lfp Z. g ∨ (f ∧ Pre(Z)) where f is the "stay"
+// set and g the "target" set. It consumes the reference passed as f (the
+// callers hand over ownership) and leaves g to the caller.
+func (ck *Checker) leastFixpoint(f, g bdd.Ref) bdd.Ref {
+	m := ck.C.M
+	z := m.Ref(g)
+	for {
+		p := ck.pre(z)
+		fp := m.And(f, p)
+		m.Deref(p)
+		nz := m.Or(z, fp)
+		m.Deref(fp)
+		if nz == z {
+			m.Deref(nz)
+			m.Deref(f)
+			return z
+		}
+		m.Deref(z)
+		z = nz
+	}
+}
+
+// greatestFixpoint computes gfp Z. f ∧ Pre(Z).
+func (ck *Checker) greatestFixpoint(f bdd.Ref) bdd.Ref {
+	m := ck.C.M
+	z := m.Ref(f)
+	for {
+		p := ck.pre(z)
+		nz := m.And(f, p)
+		m.Deref(p)
+		if nz == z {
+			m.Deref(nz)
+			return z
+		}
+		m.Deref(z)
+		z = nz
+	}
+}
+
+// Holds reports whether every initial state satisfies f.
+func (ck *Checker) Holds(f *Formula) (bool, error) {
+	s, err := ck.Sat(f)
+	if err != nil {
+		return false, err
+	}
+	// When restricted, init ⊆ reached by construction.
+	init := ck.C.M.And(ck.C.Init, ck.reached)
+	ok := ck.C.M.Leq(init, s)
+	ck.C.M.Deref(init)
+	ck.C.M.Deref(s)
+	return ok, nil
+}
+
+// Stats returns the accumulated preimage statistics.
+func (ck *Checker) Stats() reach.ImageStats { return ck.stats }

@@ -1,0 +1,186 @@
+// Package mc is a BDD-based CTL model checker built on the reachability
+// engine — the application context of the paper (its traversal engine
+// lives inside VIS, a model checker). Atomic propositions are predicates
+// over a compiled circuit's state variables; the checker computes
+// satisfaction sets with the standard fixpoint characterizations, using
+// the transition relation's image and preimage operators.
+package mc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Formula is a CTL formula. Build formulas with the constructors below or
+// parse them from text with Parse.
+type Formula struct {
+	op    opKind
+	name  string   // atom name (opAtom)
+	left  *Formula // unary and binary operands
+	right *Formula // binary operands / the U in E[f U g]
+}
+
+type opKind uint8
+
+const (
+	opTrue opKind = iota
+	opFalse
+	opAtom
+	opNot
+	opAnd
+	opOr
+	opImplies
+	opEX
+	opEF
+	opEG
+	opEU
+	opAX
+	opAF
+	opAG
+	opAU
+)
+
+// True and False are the constant formulas.
+func True() *Formula  { return &Formula{op: opTrue} }
+func False() *Formula { return &Formula{op: opFalse} }
+
+// Atom references a named atomic proposition (bound to a state predicate
+// at checking time).
+func Atom(name string) *Formula { return &Formula{op: opAtom, name: name} }
+
+// Not, And, Or, Implies are the boolean connectives.
+func Not(f *Formula) *Formula        { return &Formula{op: opNot, left: f} }
+func And(f, g *Formula) *Formula     { return &Formula{op: opAnd, left: f, right: g} }
+func Or(f, g *Formula) *Formula      { return &Formula{op: opOr, left: f, right: g} }
+func Implies(f, g *Formula) *Formula { return &Formula{op: opImplies, left: f, right: g} }
+
+// EX f: some successor satisfies f.
+func EX(f *Formula) *Formula { return &Formula{op: opEX, left: f} }
+
+// EF f: some path eventually reaches f.
+func EF(f *Formula) *Formula { return &Formula{op: opEF, left: f} }
+
+// EG f: some path satisfies f forever.
+func EG(f *Formula) *Formula { return &Formula{op: opEG, left: f} }
+
+// EU(f, g) is E[f U g]: some path stays in f until it reaches g.
+func EU(f, g *Formula) *Formula { return &Formula{op: opEU, left: f, right: g} }
+
+// AX f: every successor satisfies f.
+func AX(f *Formula) *Formula { return &Formula{op: opAX, left: f} }
+
+// AF f: every path eventually reaches f.
+func AF(f *Formula) *Formula { return &Formula{op: opAF, left: f} }
+
+// AG f: f holds on every reachable point of every path.
+func AG(f *Formula) *Formula { return &Formula{op: opAG, left: f} }
+
+// AU(f, g) is A[f U g].
+func AU(f, g *Formula) *Formula { return &Formula{op: opAU, left: f, right: g} }
+
+// String renders the formula in the surface syntax Parse accepts.
+func (f *Formula) String() string {
+	var sb strings.Builder
+	f.write(&sb)
+	return sb.String()
+}
+
+func (f *Formula) write(sb *strings.Builder) {
+	switch f.op {
+	case opTrue:
+		sb.WriteString("true")
+	case opFalse:
+		sb.WriteString("false")
+	case opAtom:
+		sb.WriteString(f.name)
+	case opNot:
+		sb.WriteString("!")
+		f.left.writeAtomic(sb)
+	case opAnd, opOr, opImplies:
+		f.left.writeAtomic(sb)
+		switch f.op {
+		case opAnd:
+			sb.WriteString(" & ")
+		case opOr:
+			sb.WriteString(" | ")
+		default:
+			sb.WriteString(" -> ")
+		}
+		f.right.writeAtomic(sb)
+	case opEX, opEF, opEG, opAX, opAF, opAG:
+		sb.WriteString(map[opKind]string{
+			opEX: "EX", opEF: "EF", opEG: "EG",
+			opAX: "AX", opAF: "AF", opAG: "AG",
+		}[f.op])
+		sb.WriteString(" ")
+		f.left.writeAtomic(sb)
+	case opEU, opAU:
+		if f.op == opEU {
+			sb.WriteString("E[")
+		} else {
+			sb.WriteString("A[")
+		}
+		f.left.write(sb)
+		sb.WriteString(" U ")
+		f.right.write(sb)
+		sb.WriteString("]")
+	}
+}
+
+func (f *Formula) writeAtomic(sb *strings.Builder) {
+	switch f.op {
+	case opTrue, opFalse, opAtom, opNot, opEU, opAU:
+		f.write(sb)
+	default:
+		sb.WriteString("(")
+		f.write(sb)
+		sb.WriteString(")")
+	}
+}
+
+// Atoms returns the distinct atom names used in the formula.
+func (f *Formula) Atoms() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(g *Formula)
+	walk = func(g *Formula) {
+		if g == nil {
+			return
+		}
+		if g.op == opAtom && !seen[g.name] {
+			seen[g.name] = true
+			out = append(out, g.name)
+		}
+		walk(g.left)
+		walk(g.right)
+	}
+	walk(f)
+	return out
+}
+
+// Validate checks structural sanity (mainly for parsed formulas).
+func (f *Formula) Validate() error {
+	switch f.op {
+	case opTrue, opFalse:
+		return nil
+	case opAtom:
+		if f.name == "" {
+			return fmt.Errorf("mc: empty atom name")
+		}
+		return nil
+	case opNot, opEX, opEF, opEG, opAX, opAF, opAG:
+		if f.left == nil {
+			return fmt.Errorf("mc: missing operand")
+		}
+		return f.left.Validate()
+	case opAnd, opOr, opImplies, opEU, opAU:
+		if f.left == nil || f.right == nil {
+			return fmt.Errorf("mc: missing operand")
+		}
+		if err := f.left.Validate(); err != nil {
+			return err
+		}
+		return f.right.Validate()
+	}
+	return fmt.Errorf("mc: unknown operator")
+}

@@ -1,0 +1,370 @@
+package mc
+
+import (
+	"testing"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+	"bddkit/internal/model"
+	"bddkit/internal/reach"
+)
+
+// buildCounter returns an enable-gated k-bit counter.
+func buildCounter(k int) *circuit.Netlist {
+	b := circuit.NewBuilder("counter")
+	en := b.Input("en")
+	q := b.LatchBus("q", k, 0)
+	inc, _ := b.Incrementer(q)
+	b.SetNextBus(q, b.MuxBus(en, inc, q))
+	b.Output("tc", b.EqConst(q, uint64(1<<uint(k)-1)))
+	return b.MustBuild()
+}
+
+func newChecker(t *testing.T, nl *circuit.Netlist) (*Checker, func()) {
+	t.Helper()
+	c, err := circuit.Compile(nl, circuit.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := reach.NewTR(c, reach.DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := NewChecker(c, tr, nil)
+	ck.DefineLatchAtoms()
+	return ck, func() {
+		ck.Release()
+		tr.Release()
+		c.Release()
+	}
+}
+
+func TestCounterProperties(t *testing.T) {
+	const k = 4
+	ck, done := newChecker(t, buildCounter(k))
+	defer done()
+	if _, err := ck.RestrictToReachable(reach.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// tc: all bits one.
+	tc := ck.C.M.Ref(bdd.One)
+	for i := 0; i < k; i++ {
+		n := ck.C.M.And(tc, ck.C.M.IthVar(ck.C.StateVars[i]))
+		ck.C.M.Deref(tc)
+		tc = n
+	}
+	ck.DefineAtom("tc", tc)
+	ck.C.M.Deref(tc)
+
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"EF tc", true},              // the counter can reach all-ones
+		{"AF tc", false},             // but need not (enable can stay low)
+		{"AG EF tc", true},           // from everywhere it stays reachable
+		{"AG (tc -> EX !tc)", true},  // from all-ones it can wrap to zero
+		{"AG (tc -> AX !tc)", false}, // ...but can also hold (enable low)? no: holding keeps tc. AX !tc is false.
+		{"E[!tc U tc]", true},
+		{"A[true U tc]", false}, // same as AF tc
+		{"EG !tc", true},        // stay below all-ones forever (enable low)
+		{"!EG false", true},
+		{"AG (q0 | !q0)", true}, // tautology over an atom
+	}
+	for _, tc := range cases {
+		f, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		got, err := ck.Holds(f)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestParserRoundTrip: String() output reparses to an equal tree.
+func TestParserRoundTrip(t *testing.T) {
+	srcs := []string{
+		"AG(req -> AF ack)",
+		"E[!err U done]",
+		"A[p U (q & !r)]",
+		"EF (a & EX (b | !c))",
+		"true",
+		"!false",
+		"AG EF reset",
+	}
+	for _, src := range srcs {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", f.String(), src, err)
+		}
+		if f.String() != g.String() {
+			t.Fatalf("round trip changed %q -> %q", f.String(), g.String())
+		}
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "AG", "(a", "E[a U", "a &", "a -> ", "E[a b]", "@bad",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+// explicitModel enumerates a small circuit's state graph for the
+// cross-check: states are indices into a dense table, succ[s] lists the
+// successors over all inputs.
+type explicitModel struct {
+	n      int // latches
+	states []uint64
+	index  map[uint64]int
+	succ   [][]int
+	init   int
+}
+
+func enumerate(t *testing.T, nl *circuit.Netlist) *explicitModel {
+	t.Helper()
+	sim, err := circuit.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nL, nI := len(nl.Latches), len(nl.Inputs)
+	if nL > 16 || nI > 8 {
+		t.Fatalf("model too large to enumerate")
+	}
+	enc := func(st []bool) uint64 {
+		var v uint64
+		for i, b := range st {
+			if b {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	dec := func(v uint64) []bool {
+		out := make([]bool, nL)
+		for i := range out {
+			out[i] = v>>uint(i)&1 == 1
+		}
+		return out
+	}
+	em := &explicitModel{n: nL, index: map[uint64]int{}}
+	sim.Reset()
+	start := enc(sim.State())
+	// The CTL semantics is over ALL states (reachable restriction is
+	// applied separately), so enumerate the full cube.
+	for v := uint64(0); v < 1<<uint(nL); v++ {
+		em.index[v] = len(em.states)
+		em.states = append(em.states, v)
+	}
+	em.init = em.index[start]
+	em.succ = make([][]int, len(em.states))
+	in := make([]bool, nI)
+	for si, v := range em.states {
+		seen := map[int]bool{}
+		for w := 0; w < 1<<uint(nI); w++ {
+			for i := range in {
+				in[i] = w>>uint(i)&1 == 1
+			}
+			sim.SetState(dec(v))
+			sim.Step(in)
+			ni := em.index[enc(sim.State())]
+			if !seen[ni] {
+				seen[ni] = true
+				em.succ[si] = append(em.succ[si], ni)
+			}
+		}
+	}
+	return em
+}
+
+// evalExplicit computes the satisfaction set of f by direct fixpoint
+// iteration over the enumerated graph. atoms gives each atom's set.
+func evalExplicit(em *explicitModel, f *Formula, atoms map[string][]bool) []bool {
+	n := len(em.states)
+	pre := func(z []bool) []bool {
+		out := make([]bool, n)
+		for s := 0; s < n; s++ {
+			for _, t := range em.succ[s] {
+				if z[t] {
+					out[s] = true
+					break
+				}
+			}
+		}
+		return out
+	}
+	and := func(a, b []bool) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = a[i] && b[i]
+		}
+		return out
+	}
+	or := func(a, b []bool) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = a[i] || b[i]
+		}
+		return out
+	}
+	not := func(a []bool) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = !a[i]
+		}
+		return out
+	}
+	eq := func(a, b []bool) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var rec func(g *Formula) []bool
+	rec = func(g *Formula) []bool {
+		switch g.op {
+		case opTrue:
+			out := make([]bool, n)
+			for i := range out {
+				out[i] = true
+			}
+			return out
+		case opFalse:
+			return make([]bool, n)
+		case opAtom:
+			return atoms[g.name]
+		case opNot:
+			return not(rec(g.left))
+		case opAnd:
+			return and(rec(g.left), rec(g.right))
+		case opOr:
+			return or(rec(g.left), rec(g.right))
+		case opImplies:
+			return or(not(rec(g.left)), rec(g.right))
+		case opEX:
+			return pre(rec(g.left))
+		case opEF:
+			return rec(EU(True(), g.left))
+		case opAX:
+			return not(pre(not(rec(g.left))))
+		case opAF:
+			return not(rec(EG(Not(g.left))))
+		case opAG:
+			return not(rec(EU(True(), Not(g.left))))
+		case opAU:
+			ng := Not(g.right)
+			return not(or(rec(EU(ng, And(Not(g.left), ng))), rec(EG(ng))))
+		case opEU:
+			stay, target := rec(g.left), rec(g.right)
+			z := target
+			for {
+				nz := or(z, and(stay, pre(z)))
+				if eq(nz, z) {
+					return z
+				}
+				z = nz
+			}
+		case opEG:
+			stay := rec(g.left)
+			z := stay
+			for {
+				nz := and(stay, pre(z))
+				if eq(nz, z) {
+					return z
+				}
+				z = nz
+			}
+		}
+		panic("unreachable")
+	}
+	return rec(f)
+}
+
+// TestSymbolicMatchesExplicitCTL: for a battery of formulas over two small
+// models, the symbolic satisfaction set equals the explicit one state for
+// state (without reachability restriction).
+func TestSymbolicMatchesExplicitCTL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explicit CTL is slow; skipped with -short")
+	}
+	modelsUnderTest := []*circuit.Netlist{
+		buildCounter(4),
+		model.S5378(model.S5378Config{Units: 2, UnitWidth: 3}),
+	}
+	formulas := []string{
+		"EX q0",
+		"EF (q0 & q1)",
+		"EG !q1",
+		"AF q0",
+		"AG (q0 -> EF !q0)",
+		"E[!q1 U q0]",
+		"A[!q1 U q0]",
+		"AX (q0 | q1)",
+		"EF AG !q0",
+	}
+	for _, nl := range modelsUnderTest {
+		em := enumerate(t, nl)
+		c, err := circuit.Compile(nl, circuit.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := reach.NewTR(c, reach.DefaultTROptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck := NewChecker(c, tr, nil)
+		ck.DefineLatchAtoms()
+
+		// Explicit atom tables: latch i true.
+		atoms := map[string][]bool{}
+		for i, l := range nl.Latches {
+			tbl := make([]bool, len(em.states))
+			for si, v := range em.states {
+				tbl[si] = v>>uint(i)&1 == 1
+			}
+			atoms[nl.NameOf(l.Q)] = tbl
+		}
+
+		assignment := make([]bool, c.M.NumVars())
+		for _, src := range formulas {
+			f, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sat, err := ck.Sat(f)
+			if err != nil {
+				// Atom not present in this model (e.g. q1 on a
+				// 1-bit unit): skip.
+				continue
+			}
+			want := evalExplicit(em, f, atoms)
+			for si, v := range em.states {
+				for i := 0; i < em.n; i++ {
+					assignment[c.StateVars[i]] = v>>uint(i)&1 == 1
+				}
+				if got := c.M.Eval(sat, assignment); got != want[si] {
+					t.Fatalf("%s: %s disagrees at state %b: symbolic %v explicit %v",
+						nl.Name, src, v, got, want[si])
+				}
+			}
+			c.M.Deref(sat)
+		}
+		ck.Release()
+		tr.Release()
+		c.Release()
+	}
+}

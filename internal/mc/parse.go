@@ -1,0 +1,213 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a CTL formula in a conventional surface syntax:
+//
+//	formula  := implied
+//	implied  := or ( "->" implied )?
+//	or       := and ( "|" and )*
+//	and      := unary ( "&" unary )*
+//	unary    := "!" unary
+//	         |  ("EX"|"EF"|"EG"|"AX"|"AF"|"AG") unary
+//	         |  ("E"|"A") "[" formula "U" formula "]"
+//	         |  "(" formula ")" | "true" | "false" | atom
+//	atom     := identifier (letters, digits, '_', '.')
+//
+// Examples: "AG(req -> AF ack)", "E[!err U done]", "EF (sp2 & sp0)".
+func Parse(src string) (*Formula, error) {
+	p := &parser{src: src}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("mc: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek(tok string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.src[p.pos:], tok)
+}
+
+func (p *parser) accept(tok string) bool {
+	if p.peek(tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(tok string) error {
+	if !p.accept(tok) {
+		return fmt.Errorf("mc: expected %q at position %d", tok, p.pos)
+	}
+	return nil
+}
+
+func (p *parser) formula() (*Formula, error) {
+	left, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("->") {
+		right, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) or() (*Formula, error) {
+	left, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek("|") && !p.peek("||") {
+		p.accept("|")
+		right, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		left = Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) and() (*Formula, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek("&") {
+		p.accept("&")
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = And(left, right)
+	}
+	return left, nil
+}
+
+// temporalOps maps the two-letter prefixes to constructors.
+var temporalOps = map[string]func(*Formula) *Formula{
+	"EX": EX, "EF": EF, "EG": EG, "AX": AX, "AF": AF, "AG": AG,
+}
+
+func (p *parser) unary() (*Formula, error) {
+	p.skipSpace()
+	if p.accept("!") {
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	}
+	for tok, mk := range temporalOps {
+		if p.matchKeyword(tok) {
+			f, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return mk(f), nil
+		}
+	}
+	// E[f U g] / A[f U g]
+	if p.peek("E[") || p.peek("A[") {
+		all := p.src[p.pos] == 'A'
+		p.pos += 2
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.matchKeyword("U") {
+			return nil, fmt.Errorf("mc: expected U at position %d", p.pos)
+		}
+		g, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if all {
+			return AU(f, g), nil
+		}
+		return EU(f, g), nil
+	}
+	if p.accept("(") {
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	// Constants and atoms.
+	if p.matchKeyword("true") {
+		return True(), nil
+	}
+	if p.matchKeyword("false") {
+		return False(), nil
+	}
+	name := p.ident()
+	if name == "" {
+		return nil, fmt.Errorf("mc: expected a formula at position %d", p.pos)
+	}
+	return Atom(name), nil
+}
+
+// matchKeyword consumes tok only when it is followed by a non-identifier
+// character (so the atom "EXtra" is not misread as EX tra).
+func (p *parser) matchKeyword(tok string) bool {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], tok) {
+		return false
+	}
+	rest := p.src[p.pos+len(tok):]
+	if rest != "" && isIdentChar(rune(rest[0])) {
+		return false
+	}
+	p.pos += len(tok)
+	return true
+}
+
+func (p *parser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

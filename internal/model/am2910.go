@@ -1,0 +1,275 @@
+// Package model provides the synthetic benchmark circuits standing in for
+// the ISCAS'89 / industrial designs of the paper's experiments (see
+// DESIGN.md for the substitution rationale):
+//
+//   - Am2910: a microprogram sequencer modeled on the AMD Am2910 datasheet
+//     behavior (µPC, register/counter, hardware stack, 16 instructions) —
+//     the "am2910" row of Table 1.
+//   - S1269: a multiplier-datapath FSM (s1269 is a multiplier-based
+//     circuit) — the "s1269" row.
+//   - S3330: a serial link controller with FIFOs, CRC, and handshake FSMs —
+//     the "s3330" row.
+//   - S5378: loosely coupled control logic (LFSRs, counters, arbiters) —
+//     the "s5378opt" row.
+//   - Combinational families (array multipliers, hidden-weighted-bit,
+//     ALUs, comparators) for the Table 2–4 function corpus.
+//
+// Every sequential model is parameterized by a size preset so tests can run
+// on scaled-down instances while the benchmark harness uses paper-scale
+// register counts.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bddkit/internal/circuit"
+)
+
+// Am2910Config sizes the microprogram sequencer.
+type Am2910Config struct {
+	Width      int // address width (12 in the real part)
+	StackDepth int // hardware stack depth (5 in the real part)
+	// WithROM closes the sequencer in its natural environment: the
+	// instruction and pipeline data inputs come from a synthetic
+	// microprogram ROM addressed by the current address (as on a real
+	// board, where the Am2910 reads the microword it just addressed).
+	// Only the condition input and DitherBits of the branch target stay
+	// free. This is what makes the paper's am2910 reachability deep:
+	// reachable states are strongly correlated through the microprogram.
+	WithROM bool
+	// RomSeed varies the synthetic microprogram.
+	RomSeed int64
+	// DitherBits XORs this many free inputs into the low bits of the
+	// ROM's branch-target field, widening the branching factor of the
+	// closed model (the board-level analogue is a mapping PROM driven by
+	// external status).
+	DitherBits int
+}
+
+// Am2910Small is a scaled-down instance for unit tests and quick runs.
+func Am2910Small() Am2910Config { return Am2910Config{Width: 4, StackDepth: 3} }
+
+// Am2910Full approximates the real part: 12-bit addresses, 5-deep stack
+// (87 state bits; the paper's am2910 has 99 flip-flops including fabric
+// registers we do not replicate).
+func Am2910Full() Am2910Config { return Am2910Config{Width: 12, StackDepth: 5} }
+
+// Am2910 instruction opcodes (I3..I0 of the datasheet).
+const (
+	opJZ   = 0  // jump zero, clear stack
+	opCJS  = 1  // conditional jump subroutine
+	opJMAP = 2  // jump map
+	opCJP  = 3  // conditional jump pipeline
+	opPUSH = 4  // push µPC, conditionally load counter
+	opJSRP = 5  // conditional jump subroutine via R or pipeline
+	opCJV  = 6  // conditional jump vector
+	opJRP  = 7  // conditional jump via R or pipeline
+	opRFCT = 8  // repeat loop if counter ≠ 0 (file = stack)
+	opRPCT = 9  // repeat pipeline if counter ≠ 0
+	opCRTN = 10 // conditional return
+	opCJPP = 11 // conditional jump pipeline and pop
+	opLDCT = 12 // load counter
+	opLOOP = 13 // test end of loop
+	opCONT = 14 // continue
+	opTWB  = 15 // three-way branch
+)
+
+// Am2910 builds the sequencer netlist. Inputs: i0..i3 (instruction), pass
+// (condition code, already combined with its enable), d0..d{w-1} (pipeline
+// data). Outputs: y0..y{w-1} (the microprogram address). State: µPC,
+// register/counter R, a shift-register stack of cfg.StackDepth words, and a
+// saturating stack pointer.
+func Am2910(cfg Am2910Config) *circuit.Netlist {
+	w := cfg.Width
+	depth := cfg.StackDepth
+	name := fmt.Sprintf("am2910_w%d_d%d", w, depth)
+	if cfg.WithROM {
+		name += "_rom"
+	}
+	b := circuit.NewBuilder(name)
+
+	var instr, d []circuit.Sig
+	var pass circuit.Sig
+	var upc []circuit.Sig
+	if cfg.WithROM {
+		// Microword = rom(µPC): 4 instruction bits of mixed logic over
+		// the current address, and a branch-target field with regular
+		// structure (rotate + XOR + add), as microprogram branch
+		// targets have — this keeps the reachable set representable
+		// while the traversal itself stays deep.
+		pass = b.Input("pass")
+		var dither []circuit.Sig
+		if cfg.DitherBits > 0 {
+			dither = b.InputBus("dx", cfg.DitherBits)
+		}
+		upc = b.LatchBus("upc", w, 0)
+		instr = romField(b, upc, 4, cfg.RomSeed+1)
+		d = romTarget(b, upc, cfg.RomSeed+2)
+		for i := 0; i < len(dither) && i < w; i++ {
+			d[i] = b.Xor(d[i], dither[i])
+		}
+	} else {
+		// Input order i, pass, d matches the documented interface.
+		instr = b.InputBus("i", 4)
+		pass = b.Input("pass")
+		d = b.InputBus("d", w)
+		upc = b.LatchBus("upc", w, 0)
+	}
+	r := b.LatchBus("r", w, 0)
+	stack := make([][]circuit.Sig, depth)
+	for k := range stack {
+		stack[k] = b.LatchBus(fmt.Sprintf("st%d", k), w, 0)
+	}
+	spBits := 2
+	for 1<<uint(spBits) < depth+1 {
+		spBits++
+	}
+	sp := b.LatchBus("sp", spBits, 0)
+
+	fail := b.Not(pass)
+	top := stack[0]
+	rZero := b.IsZero(r)
+	rNot0 := b.Not(rZero)
+
+	zeroW := b.ConstBus(0, w)
+
+	// Per-instruction next-address selection (the Y output).
+	yBus := make([][]circuit.Sig, 16)
+	yBus[opJZ] = zeroW
+	yBus[opCJS] = b.MuxBus(pass, d, upc)
+	yBus[opJMAP] = d
+	yBus[opCJP] = b.MuxBus(pass, d, upc)
+	yBus[opPUSH] = upc
+	yBus[opJSRP] = b.MuxBus(pass, d, r)
+	yBus[opCJV] = b.MuxBus(pass, d, upc)
+	yBus[opJRP] = b.MuxBus(pass, d, r)
+	yBus[opRFCT] = b.MuxBus(rNot0, top, upc)
+	yBus[opRPCT] = b.MuxBus(rNot0, d, upc)
+	yBus[opCRTN] = b.MuxBus(pass, top, upc)
+	yBus[opCJPP] = b.MuxBus(pass, d, upc)
+	yBus[opLDCT] = upc
+	yBus[opLOOP] = b.MuxBus(pass, upc, top)
+	yBus[opCONT] = upc
+	yBus[opTWB] = b.MuxBus(pass, upc, b.MuxBus(rNot0, top, d))
+	y := b.MuxN(instr, yBus)
+	b.OutputBus("y", y)
+
+	// µPC follows Y+1 (carry-in fixed at 1, as microprograms run with
+	// CI = 1).
+	upcNext, _ := b.Incrementer(y)
+	b.SetNextBus(upc, upcNext)
+
+	// Stack control: push on CJS/JSRP (and PUSH unconditionally for
+	// CJS/JSRP only when the subroutine is taken), pop on returns/loop
+	// exits, clear on JZ.
+	one := b.Const(true)
+	pushSel := b.Or(
+		b.And(b.EqConst(instr, opCJS), pass),
+		b.EqConst(instr, opJSRP),
+		b.EqConst(instr, opPUSH),
+	)
+	popSel := b.Or(
+		b.And(b.EqConst(instr, opCRTN), pass),
+		b.And(b.EqConst(instr, opCJPP), pass),
+		b.And(b.EqConst(instr, opLOOP), pass),
+		b.And(b.EqConst(instr, opRFCT), rZero),
+		b.And(b.EqConst(instr, opTWB), b.Or(pass, b.And(fail, rZero))),
+	)
+	clearSel := b.EqConst(instr, opJZ)
+
+	spEmpty := b.IsZero(sp)
+	spFull := b.EqConst(sp, uint64(depth))
+	spInc, _ := b.Incrementer(sp)
+	spDec := b.Decrementer(sp)
+	spPush := b.MuxBus(spFull, sp, spInc)
+	spPop := b.MuxBus(spEmpty, sp, spDec)
+	spNext := b.MuxBus(clearSel, b.ConstBus(0, spBits),
+		b.MuxBus(pushSel, spPush, b.MuxBus(popSel, spPop, sp)))
+	b.SetNextBus(sp, spNext)
+
+	// Shift-register stack: push shifts down (top = st0 ← µPC), pop
+	// shifts up, otherwise hold. Clearing zeroes every word.
+	for k := 0; k < depth; k++ {
+		var pushVal, popVal []circuit.Sig
+		if k == 0 {
+			pushVal = upc
+		} else {
+			pushVal = stack[k-1]
+		}
+		if k == depth-1 {
+			popVal = zeroW
+		} else {
+			popVal = stack[k+1]
+		}
+		next := b.MuxBus(clearSel, zeroW,
+			b.MuxBus(pushSel, pushVal, b.MuxBus(popSel, popVal, stack[k])))
+		b.SetNextBus(stack[k], next)
+	}
+	_ = one
+
+	// Register/counter: load on LDCT (and PUSH when the condition
+	// passes), decrement during the repeat instructions while non-zero.
+	loadSel := b.Or(
+		b.EqConst(instr, opLDCT),
+		b.And(b.EqConst(instr, opPUSH), pass),
+	)
+	decSel := b.And(rNot0, b.Or(
+		b.EqConst(instr, opRFCT),
+		b.EqConst(instr, opRPCT),
+		b.And(b.EqConst(instr, opTWB), fail),
+	))
+	rDec := b.Decrementer(r)
+	rNext := b.MuxBus(loadSel, d, b.MuxBus(decSel, rDec, r))
+	b.SetNextBus(r, rNext)
+
+	return b.MustBuild()
+}
+
+// romTarget synthesizes the branch-target field of the microprogram ROM
+// with the regular structure real branch targets have: a rotation of the
+// current address, XORed with a constant, plus a small constant — an
+// affine-ish map that keeps reachable address sets compact as BDDs.
+func romTarget(b *circuit.Builder, addr []circuit.Sig, seed int64) []circuit.Sig {
+	rng := rand.New(rand.NewSource(seed))
+	w := len(addr)
+	rot := 1 + rng.Intn(w-1)
+	xorMask := uint64(rng.Int63()) & (1<<uint(w) - 1)
+	addConst := uint64(rng.Int63()) & (1<<uint(w) - 1)
+	rotated := make([]circuit.Sig, w)
+	for i := range rotated {
+		rotated[i] = addr[(i+rot)%w]
+	}
+	masked := make([]circuit.Sig, w)
+	for i := range masked {
+		if xorMask>>uint(i)&1 == 1 {
+			masked[i] = b.Not(rotated[i])
+		} else {
+			masked[i] = rotated[i]
+		}
+	}
+	sum, _ := b.Adder(masked, b.ConstBus(addConst, w), b.Const(false))
+	return sum
+}
+
+// romField synthesizes one field of the microprogram ROM as seeded random
+// logic over the address bus: each output bit is a XOR/AND mix of a few
+// address bits, which is what a minimized dense ROM looks like and keeps
+// the BDDs of the next-state functions nontrivial without blowing them up.
+func romField(b *circuit.Builder, addr []circuit.Sig, width int, seed int64) []circuit.Sig {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]circuit.Sig, width)
+	pick := func() circuit.Sig { return addr[rng.Intn(len(addr))] }
+	for i := range out {
+		a, c, d := pick(), pick(), pick()
+		term := b.And(a, c)
+		if rng.Intn(2) == 0 {
+			term = b.Or(a, b.Not(c))
+		}
+		out[i] = b.Xor(term, d)
+		if rng.Intn(3) == 0 {
+			out[i] = b.Xor(out[i], b.And(pick(), pick()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package model
+
+import (
+	"fmt"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+)
+
+// Combinational families for the Table 2–4 function corpus. Array
+// multipliers are the classic source of large BDDs under any variable
+// order; the hidden-weighted-bit function has exponential BDDs for every
+// order; ALU and comparator slices provide the medium-size population.
+
+// MultiplierNetlist returns an n×n array multiplier with all 2n product
+// bits as outputs.
+func MultiplierNetlist(n int) *circuit.Netlist {
+	b := circuit.NewBuilder(fmt.Sprintf("mult%dx%d", n, n))
+	a := b.InputBus("a", n)
+	bb := b.InputBus("b", n)
+	p := b.Multiplier(a, bb)
+	b.OutputBus("p", p)
+	return b.MustBuild()
+}
+
+// AdderNetlist returns an n-bit ripple-carry adder with sum and carry
+// outputs.
+func AdderNetlist(n int) *circuit.Netlist {
+	b := circuit.NewBuilder(fmt.Sprintf("add%d", n))
+	a := b.InputBus("a", n)
+	bb := b.InputBus("b", n)
+	sum, cout := b.Adder(a, bb, b.Const(false))
+	b.OutputBus("s", sum)
+	b.Output("cout", cout)
+	return b.MustBuild()
+}
+
+// AluNetlist returns an n-bit 4-function ALU (add, subtract, and, xor)
+// with zero and carry flags.
+func AluNetlist(n int) *circuit.Netlist {
+	b := circuit.NewBuilder(fmt.Sprintf("alu%d", n))
+	op := b.InputBus("op", 2)
+	a := b.InputBus("a", n)
+	bb := b.InputBus("b", n)
+	sum, cAdd := b.Adder(a, bb, b.Const(false))
+	diff, cSub := b.Subtractor(a, bb)
+	andv := make([]circuit.Sig, n)
+	xorv := make([]circuit.Sig, n)
+	for i := 0; i < n; i++ {
+		andv[i] = b.And(a[i], bb[i])
+		xorv[i] = b.Xor(a[i], bb[i])
+	}
+	res := b.MuxN(op, [][]circuit.Sig{sum, diff, andv, xorv})
+	b.OutputBus("r", res)
+	b.Output("zero", b.IsZero(res))
+	b.Output("carry", b.Mux(op[0], cSub, cAdd))
+	return b.MustBuild()
+}
+
+// ComparatorNetlist returns an n-bit magnitude comparator (lt, eq, gt).
+func ComparatorNetlist(n int) *circuit.Netlist {
+	b := circuit.NewBuilder(fmt.Sprintf("cmp%d", n))
+	a := b.InputBus("a", n)
+	bb := b.InputBus("b", n)
+	lt := b.Less(a, bb)
+	eq := b.Eq(a, bb)
+	b.Output("lt", lt)
+	b.Output("eq", eq)
+	b.Output("gt", b.Nor(lt, eq))
+	return b.MustBuild()
+}
+
+// HWB builds the hidden-weighted-bit function over n fresh variables of m:
+// HWB(x) = x_{wt(x)} (1-indexed; 0 when the weight is 0). Its BDD is
+// exponential under every variable order (Bryant 1991), which makes it a
+// reliable large-BDD source for the corpus. The construction uses the
+// exactly-k symmetric functions, built by dynamic programming.
+func HWB(m *bdd.Manager, vars []int) bdd.Ref {
+	n := len(vars)
+	// exact[k] = BDD of "weight of x equals k" over the given vars.
+	exact := make([]bdd.Ref, n+1)
+	exact[0] = m.Ref(bdd.One)
+	for k := 1; k <= n; k++ {
+		exact[k] = m.Ref(bdd.Zero)
+	}
+	for i := 0; i < n; i++ {
+		x := m.IthVar(vars[i])
+		for k := i + 1; k >= 1; k-- {
+			// new exact[k] = x·exact[k-1] + ¬x·exact[k]
+			nk := m.ITE(x, exact[k-1], exact[k])
+			m.Deref(exact[k])
+			exact[k] = nk
+		}
+		nk0 := m.ITE(x, bdd.Zero, exact[0])
+		m.Deref(exact[0])
+		exact[0] = nk0
+	}
+	f := m.Ref(bdd.Zero)
+	for k := 1; k <= n; k++ {
+		term := m.And(exact[k], m.IthVar(vars[k-1]))
+		nf := m.Or(f, term)
+		m.Deref(term)
+		m.Deref(f)
+		f = nf
+	}
+	for _, e := range exact {
+		m.Deref(e)
+	}
+	return f
+}
+
+// MajorityThreshold builds "at least k of the given variables are 1".
+func MajorityThreshold(m *bdd.Manager, vars []int, k int) bdd.Ref {
+	n := len(vars)
+	// atLeast[j] over processed prefix; DP like HWB.
+	ge := make([]bdd.Ref, k+1)
+	ge[0] = m.Ref(bdd.One)
+	for j := 1; j <= k; j++ {
+		ge[j] = m.Ref(bdd.Zero)
+	}
+	for i := 0; i < n; i++ {
+		x := m.IthVar(vars[i])
+		for j := k; j >= 1; j-- {
+			nj := m.ITE(x, ge[j-1], ge[j])
+			m.Deref(ge[j])
+			ge[j] = nj
+		}
+	}
+	r := m.Ref(ge[k])
+	for _, g := range ge {
+		m.Deref(g)
+	}
+	return r
+}

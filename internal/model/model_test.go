@@ -1,0 +1,374 @@
+package model
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+)
+
+func TestModelsBuildAndValidate(t *testing.T) {
+	for name, nl := range map[string]*circuit.Netlist{
+		"am2910-small": Am2910(Am2910Small()),
+		"am2910-full":  Am2910(Am2910Full()),
+		"s1269-small":  S1269(S1269Small()),
+		"s1269-full":   S1269(S1269Full()),
+		"s3330-small":  S3330(S3330Small()),
+		"s3330-full":   S3330(S3330Full()),
+		"s5378-small":  S5378(S5378Small()),
+		"s5378-full":   S5378(S5378Full()),
+	} {
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// Paper-scale register counts (Table 1 column "FF"): the full models
+	// must land in the same regime as the originals.
+	checks := []struct {
+		nl       *circuit.Netlist
+		min, max int
+	}{
+		{Am2910(Am2910Full()), 80, 110}, // paper: 99
+		{S1269(S1269Full()), 30, 45},    // paper: 37
+		{S3330(S3330Full()), 100, 145},  // paper: 132
+		{S5378(S5378Full()), 110, 135},  // paper: 121
+	}
+	for _, c := range checks {
+		if ff := len(c.nl.Latches); ff < c.min || ff > c.max {
+			t.Errorf("%s: %d flip-flops, want within [%d,%d]", c.nl.Name, ff, c.min, c.max)
+		}
+	}
+}
+
+// TestAm2910StackDiscipline drives the sequencer through a subroutine
+// call/return and a counted loop, checking the observable address stream.
+func TestAm2910StackDiscipline(t *testing.T) {
+	cfg := Am2910Small()
+	nl := Am2910(cfg)
+	sim, err := circuit.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cfg.Width
+	step := func(op int, pass bool, d int) int {
+		in := make([]bool, 4+1+w)
+		for i := 0; i < 4; i++ {
+			in[i] = op>>uint(i)&1 == 1
+		}
+		in[4] = pass
+		for i := 0; i < w; i++ {
+			in[5+i] = d>>uint(i)&1 == 1
+		}
+		out := sim.Step(in)
+		y := 0
+		for i := 0; i < w; i++ {
+			if out[i] {
+				y |= 1 << uint(i)
+			}
+		}
+		return y
+	}
+	// Reset: µPC = 0. JZ forces address 0.
+	if y := step(opJZ, true, 0); y != 0 {
+		t.Fatalf("JZ: y = %d", y)
+	}
+	// CONT advances: y = µPC = 1.
+	if y := step(opCONT, true, 0); y != 1 {
+		t.Fatalf("CONT: y = %d", y)
+	}
+	// CJS taken to 9: y = 9, µPC(2) pushed.
+	if y := step(opCJS, true, 9); y != 9 {
+		t.Fatalf("CJS: y = %d", y)
+	}
+	// CONT at 9: y = 10.
+	if y := step(opCONT, true, 0); y != 10 {
+		t.Fatalf("CONT: y = %d", y)
+	}
+	// CRTN taken: return to pushed µPC (2).
+	if y := step(opCRTN, true, 0); y != 2 {
+		t.Fatalf("CRTN: y = %d", y)
+	}
+	// LDCT loads the counter with 2, then RPCT repeats D while counting
+	// down: two repeats at address 5, then fall-through.
+	step(opLDCT, true, 2)
+	if y := step(opRPCT, true, 5); y != 5 {
+		t.Fatalf("RPCT first: y = %d", y)
+	}
+	if y := step(opRPCT, true, 5); y != 5 {
+		t.Fatalf("RPCT second: y = %d", y)
+	}
+	y := step(opRPCT, true, 5)
+	if y == 5 {
+		t.Fatalf("RPCT did not terminate: y = %d", y)
+	}
+}
+
+// TestS1269Multiplies runs full multiply sequences and checks the product.
+func TestS1269Multiplies(t *testing.T) {
+	cfg := S1269Small()
+	nl := S1269(cfg)
+	sim, err := circuit.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cfg.Width
+	mkIn := func(start bool, a, b int) []bool {
+		in := make([]bool, 1+2*w)
+		in[0] = start
+		for i := 0; i < w; i++ {
+			in[1+i] = a>>uint(i)&1 == 1
+			in[1+w+i] = b>>uint(i)&1 == 1
+		}
+		return in
+	}
+	for a := 0; a < 1<<w; a++ {
+		for b := 0; b < 1<<w; b++ {
+			sim.Reset()
+			sim.Step(mkIn(true, a, b)) // load
+			var out []bool
+			for i := 0; i < w+2; i++ {
+				out = sim.Step(mkIn(false, 0, 0))
+				if out[2*w] { // rdy
+					break
+				}
+			}
+			if !out[2*w] {
+				t.Fatalf("%d*%d: never ready", a, b)
+			}
+			p := 0
+			for i := 0; i < 2*w; i++ {
+				if out[i] {
+					p |= 1 << uint(i)
+				}
+			}
+			if p != a*b {
+				t.Fatalf("%d*%d = %d", a, b, p)
+			}
+		}
+	}
+}
+
+// TestS3330FifoFlow pushes words and watches the serializer drain them.
+func TestS3330FifoFlow(t *testing.T) {
+	cfg := S3330Small()
+	nl := S3330(cfg)
+	sim, err := circuit.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cfg.Word
+	mkIn := func(push bool, d int, rxrdy bool) []bool {
+		in := make([]bool, 1+w+1)
+		in[0] = push
+		for i := 0; i < w; i++ {
+			in[1+i] = d>>uint(i)&1 == 1
+		}
+		in[1+w] = rxrdy
+		return in
+	}
+	// Push two words; the fill counter must track them.
+	sim.Step(mkIn(true, 5, false))
+	out := sim.Step(mkIn(true, 3, false))
+	fill := 0
+	for i := 0; i < len(out)-3; i++ {
+		if out[3+i] {
+			fill |= 1 << uint(i)
+		}
+	}
+	if fill == 0 {
+		t.Fatal("fill did not advance after pushes")
+	}
+	// Drain: run many cycles with the receiver ready; the FIFO must
+	// eventually empty.
+	drained := false
+	for i := 0; i < 20*w; i++ {
+		out = sim.Step(mkIn(false, 0, true))
+		f := 0
+		for j := 0; j < len(out)-3; j++ {
+			if out[3+j] {
+				f |= 1 << uint(j)
+			}
+		}
+		if f == 0 {
+			drained = true
+			break
+		}
+	}
+	if !drained {
+		t.Fatal("FIFO never drained")
+	}
+}
+
+// TestS5378Progress: with the enable held high the first counter unit
+// cycles through all its values.
+func TestS5378Progress(t *testing.T) {
+	cfg := S5378Small()
+	nl := S5378(cfg)
+	sim, err := circuit.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cfg.UnitWidth
+	u := cfg.Units
+	seen := map[int]bool{}
+	for i := 0; i < 1<<uint(w)*8; i++ {
+		in := make([]bool, 1+u)
+		in[0] = true
+		out := sim.Step(in)
+		v := 0
+		base := len(out) - w
+		for j := 0; j < w; j++ {
+			if out[base+j] {
+				v |= 1 << uint(j)
+			}
+		}
+		seen[v] = true
+	}
+	if len(seen) < 1<<uint(w)/2 {
+		t.Fatalf("unit 0 visited only %d values", len(seen))
+	}
+}
+
+// TestHWBAgainstDefinition checks the BDD against the definition
+// HWB(x) = x_{wt(x)}.
+func TestHWBAgainstDefinition(t *testing.T) {
+	const n = 10
+	m := bdd.New(n)
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	f := HWB(m, vars)
+	a := make([]bool, n)
+	for x := 0; x < 1<<n; x++ {
+		for i := 0; i < n; i++ {
+			a[i] = x>>uint(i)&1 == 1
+		}
+		wt := bits.OnesCount(uint(x))
+		want := wt > 0 && x>>uint(wt-1)&1 == 1
+		if got := m.Eval(f, a); got != want {
+			t.Fatalf("HWB(%b) = %v, want %v", x, got, want)
+		}
+	}
+	m.Deref(f)
+}
+
+// TestMajorityThreshold checks the threshold builder exhaustively.
+func TestMajorityThreshold(t *testing.T) {
+	const n = 8
+	m := bdd.New(n)
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	for k := 0; k <= n; k++ {
+		f := MajorityThreshold(m, vars, k)
+		a := make([]bool, n)
+		for x := 0; x < 1<<n; x++ {
+			for i := 0; i < n; i++ {
+				a[i] = x>>uint(i)&1 == 1
+			}
+			want := bits.OnesCount(uint(x)) >= k
+			if got := m.Eval(f, a); got != want {
+				t.Fatalf("≥%d(%b) = %v", k, x, got)
+			}
+		}
+		m.Deref(f)
+	}
+}
+
+// TestMultiplierNetlistCompiles compiles an 6x6 multiplier and spot-checks
+// product bits against integer multiplication.
+func TestMultiplierNetlistCompiles(t *testing.T) {
+	const n = 6
+	nl := MultiplierNetlist(n)
+	c, err := circuit.Compile(nl, circuit.CompileOptions{SkipNextVars: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release()
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 100; iter++ {
+		a, b := rng.Intn(1<<n), rng.Intn(1<<n)
+		in := make([]bool, 2*n)
+		for i := 0; i < n; i++ {
+			in[i] = a>>uint(i)&1 == 1
+			in[n+i] = b>>uint(i)&1 == 1
+		}
+		out := c.EvalOutputs(nil, in)
+		p := 0
+		for i, bit := range out {
+			if bit {
+				p |= 1 << uint(i)
+			}
+		}
+		if p != a*b {
+			t.Fatalf("%d*%d = %d", a, b, p)
+		}
+	}
+	// The middle product bit must be a reasonably large BDD even at 6x6.
+	mid := c.Outputs[n]
+	if sz := c.M.DagSize(mid); sz < 30 {
+		t.Fatalf("middle product bit suspiciously small: %d nodes", sz)
+	}
+}
+
+// TestAluComparator compiles and spot-checks the remaining corpus families.
+func TestAluComparator(t *testing.T) {
+	const n = 4
+	alu, err := circuit.Compile(AluNetlist(n), circuit.CompileOptions{SkipNextVars: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alu.Release()
+	cmp, err := circuit.Compile(ComparatorNetlist(n), circuit.CompileOptions{SkipNextVars: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cmp.Release()
+	for a := 0; a < 1<<n; a++ {
+		for b := 0; b < 1<<n; b++ {
+			for op := 0; op < 4; op++ {
+				in := make([]bool, 2+2*n)
+				in[0] = op&1 == 1
+				in[1] = op&2 == 2
+				for i := 0; i < n; i++ {
+					in[2+i] = a>>uint(i)&1 == 1
+					in[2+n+i] = b>>uint(i)&1 == 1
+				}
+				out := alu.EvalOutputs(nil, in)
+				r := 0
+				for i := 0; i < n; i++ {
+					if out[i] {
+						r |= 1 << uint(i)
+					}
+				}
+				var want int
+				switch op {
+				case 0:
+					want = (a + b) % (1 << n)
+				case 1:
+					want = (a - b + 1<<n) % (1 << n)
+				case 2:
+					want = a & b
+				default:
+					want = a ^ b
+				}
+				if r != want {
+					t.Fatalf("alu op %d: %d,%d -> %d want %d", op, a, b, r, want)
+				}
+			}
+			in := make([]bool, 2*n)
+			for i := 0; i < n; i++ {
+				in[i] = a>>uint(i)&1 == 1
+				in[n+i] = b>>uint(i)&1 == 1
+			}
+			out := cmp.EvalOutputs(nil, in)
+			if out[0] != (a < b) || out[1] != (a == b) || out[2] != (a > b) {
+				t.Fatalf("cmp(%d,%d) = %v", a, b, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bddkit/internal/circuit"
+)
+
+// RandomLogicConfig sizes a random logic cone.
+type RandomLogicConfig struct {
+	Inputs int   // number of primary inputs
+	Gates  int   // number of random gates
+	Seed   int64 // deterministic seed
+}
+
+// RandomLogicNetlist generates a layered random logic cone: each gate picks
+// a random operation over fan-ins drawn from earlier signals with a bias
+// toward recent ones (mimicking the locality of synthesized logic). The
+// last few gates become outputs. The same seed always produces the same
+// netlist, keeping the Table 2–4 corpus deterministic.
+func RandomLogicNetlist(cfg RandomLogicConfig) *circuit.Netlist {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := circuit.NewBuilder(fmt.Sprintf("rlog_i%d_g%d_s%d", cfg.Inputs, cfg.Gates, cfg.Seed))
+	sigs := b.InputBus("x", cfg.Inputs)
+	pick := func() circuit.Sig {
+		// Geometric bias toward recent signals.
+		n := len(sigs)
+		k := n - 1 - rng.Intn(n-rng.Intn(n))
+		return sigs[k]
+	}
+	for g := 0; g < cfg.Gates; g++ {
+		a, c := pick(), pick()
+		for c == a {
+			c = pick()
+		}
+		var s circuit.Sig
+		switch rng.Intn(6) {
+		case 0:
+			s = b.And(a, c)
+		case 1:
+			s = b.Or(a, c)
+		case 2:
+			s = b.Xor(a, c)
+		case 3:
+			s = b.Nand(a, c)
+		case 4:
+			s = b.Nor(a, c)
+		default:
+			d := pick()
+			s = b.Mux(a, c, d)
+		}
+		sigs = append(sigs, s)
+	}
+	outs := 4
+	if outs > cfg.Gates {
+		outs = cfg.Gates
+	}
+	for i := 0; i < outs; i++ {
+		b.Output(fmt.Sprintf("y%d", i), sigs[len(sigs)-1-i])
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+
+	"bddkit/internal/circuit"
+)
+
+// S1269Config sizes the multiplier-datapath FSM standing in for s1269
+// (a multiplier-based ISCAS'89 addendum circuit with 37 flip-flops).
+type S1269Config struct {
+	Width int // operand width
+}
+
+// S1269Small is a scaled-down instance for tests.
+func S1269Small() S1269Config { return S1269Config{Width: 3} }
+
+// S1269Full approximates the original's register count: with Width 8 the
+// model has 8+8+16+2 = 34 state bits (s1269 has 37).
+func S1269Full() S1269Config { return S1269Config{Width: 8} }
+
+// S1269 builds a sequential shift-add multiplier: in the LOAD phase the
+// operand registers capture the data inputs; then Width MULT steps
+// accumulate partial products (the accumulator holds A·B after the last);
+// the DONE phase holds the result until restarted. The accumulator makes
+// the reachable-state BDD multiplier-shaped — the property that makes
+// s1269 hard for breadth-first traversal.
+func S1269(cfg S1269Config) *circuit.Netlist {
+	w := cfg.Width
+	b := circuit.NewBuilder(fmt.Sprintf("s1269_w%d", w))
+
+	start := b.Input("start")
+	da := b.InputBus("da", w)
+	db := b.InputBus("db", w)
+
+	a := b.LatchBus("a", w, 0)  // multiplicand (shifts left)
+	bb := b.LatchBus("b", w, 0) // multiplier (shifts right)
+	acc := b.LatchBus("acc", 2*w, 0)
+	// Phase: 00 idle/load, 01 multiply, 10 done.
+	phase := b.LatchBus("ph", 2, 0)
+	// Step counter for the multiply phase.
+	cntBits := 1
+	for 1<<uint(cntBits) < w {
+		cntBits++
+	}
+	cnt := b.LatchBus("cnt", cntBits, 0)
+
+	idle := b.EqConst(phase, 0)
+	mult := b.EqConst(phase, 1)
+	done := b.EqConst(phase, 2)
+
+	// Datapath (classic shift-add with a fixed multiplicand): each MULT
+	// step adds A into the high half of the accumulator when the current
+	// multiplier bit is 1, then shifts the accumulator right together
+	// with the multiplier: acc ← (acc + (b₀ ? A·2^w : 0)) >> 1. After w
+	// steps the accumulator holds A·B.
+	addend := make([]circuit.Sig, 2*w)
+	zero := b.Const(false)
+	for i := 0; i < w; i++ {
+		addend[i] = zero
+		addend[w+i] = b.And(a[i], bb[0])
+	}
+	sum, cout := b.Adder(acc, addend, zero)
+	accShift := make([]circuit.Sig, 2*w)
+	copy(accShift, sum[1:])
+	accShift[2*w-1] = cout
+
+	bShift := make([]circuit.Sig, w)
+	copy(bShift, bb[1:])
+	bShift[w-1] = zero
+
+	lastStep := b.EqConst(cnt, uint64(w-1))
+	cntInc, _ := b.Incrementer(cnt)
+
+	loading := b.And(idle, start)
+	aNext := b.MuxBus(loading, da, a)
+	bNext := b.MuxBus(loading, db, b.MuxBus(mult, bShift, bb))
+	accNext := b.MuxBus(loading, b.ConstBus(0, 2*w), b.MuxBus(mult, accShift, acc))
+	cntNext := b.MuxBus(loading, b.ConstBus(0, cntBits),
+		b.MuxBus(mult, cntInc, cnt))
+
+	// Phase transitions: idle -start-> mult -last-> done -start-> idle
+	// (restart loads immediately).
+	ph0 := phase[0]
+	ph1 := phase[1]
+	ph0Next := b.Or(loading, b.And(mult, b.Not(lastStep)))
+	ph1Next := b.Or(b.And(mult, lastStep), b.And(done, b.Not(start)))
+	b.SetNext(ph0, ph0Next)
+	b.SetNext(ph1, ph1Next)
+
+	b.SetNextBus(a, aNext)
+	b.SetNextBus(bb, bNext)
+	b.SetNextBus(acc, accNext)
+	b.SetNextBus(cnt, cntNext)
+
+	b.OutputBus("p", acc)
+	b.Output("rdy", done)
+	return b.MustBuild()
+}

@@ -1,0 +1,187 @@
+package model
+
+import (
+	"fmt"
+
+	"bddkit/internal/circuit"
+)
+
+// S3330Config sizes the serial-link controller standing in for s3330
+// (a communication chip with 132 flip-flops).
+type S3330Config struct {
+	Word      int // data word width
+	FifoDepth int // transmit FIFO depth (words)
+	CrcBits   int // CRC register width
+	// InternalSource drives the FIFO input from an on-chip scrambler
+	// (LFSR) instead of free primary inputs, the way a link controller
+	// transmits scrambled payload. The FIFO then holds windows of the
+	// scrambler sequence, which correlates the state bits and gives the
+	// traversal the mid-flight BDD hump that high-density traversal is
+	// designed to cut through.
+	InternalSource bool
+}
+
+// S3330Small is a scaled-down instance for tests.
+func S3330Small() S3330Config { return S3330Config{Word: 3, FifoDepth: 2, CrcBits: 3} }
+
+// S3330Full approximates the original's register count: with 8-bit words,
+// an 8-deep FIFO and CRC-16 the model has 8 + 64 + 4 + 16 + 8 + 3 + 4 + 3
+// + 8 + 4 ≈ 122 state bits plus handshake bits, near s3330's 132.
+func S3330Full() S3330Config { return S3330Config{Word: 8, FifoDepth: 8, CrcBits: 16} }
+
+// S3330 builds a serial transmitter: words enter a FIFO, a shifter
+// serializes the head word LSB-first while a CRC register folds every
+// transmitted bit; a frame counter inserts a CRC flush after each word and
+// a handshake FSM paces an (abstracted) receiver. The loosely coupled
+// counters and shifters give the model the "many weakly interacting
+// controllers" topology of communication chips.
+func S3330(cfg S3330Config) *circuit.Netlist {
+	w := cfg.Word
+	depth := cfg.FifoDepth
+	cw := cfg.CrcBits
+	name := fmt.Sprintf("s3330_w%d_f%d_c%d", w, depth, cw)
+	if cfg.InternalSource {
+		name += "_src"
+	}
+	b := circuit.NewBuilder(name)
+
+	push := b.Input("push")
+	var din []circuit.Sig
+	if !cfg.InternalSource {
+		din = b.InputBus("din", w)
+	}
+	rxReady := b.Input("rxrdy")
+	if cfg.InternalSource {
+		// Scrambler: a maximal-ish LFSR of 2w bits; the FIFO captures
+		// its low word. It advances every cycle.
+		scr := b.LatchBus("scr", 2*w, 1)
+		fb := b.Xor(scr[2*w-1], scr[2*w-3])
+		scrNext := make([]circuit.Sig, 2*w)
+		scrNext[0] = fb
+		copy(scrNext[1:], scr[:2*w-1])
+		b.SetNextBus(scr, scrNext)
+		din = scr[:w]
+	}
+
+	// Transmit FIFO: shift-register implementation with a fill counter.
+	fifo := make([][]circuit.Sig, depth)
+	for k := range fifo {
+		fifo[k] = b.LatchBus(fmt.Sprintf("fifo%d", k), w, 0)
+	}
+	fillBits := 1
+	for 1<<uint(fillBits) < depth+1 {
+		fillBits++
+	}
+	fill := b.LatchBus("fill", fillBits, 0)
+
+	// Serializer: current word, bit counter, busy flag.
+	sh := b.LatchBus("sh", w, 0)
+	bcBits := 1
+	for 1<<uint(bcBits) < w {
+		bcBits++
+	}
+	bitCnt := b.LatchBus("bc", bcBits, 0)
+	busy := b.Latch("busy", false)
+
+	// CRC over the serial stream (Galois LFSR with a fixed taps mask).
+	crc := b.LatchBus("crc", cw, 0)
+	// Handshake FSM with the receiver: 2 bits.
+	hs := b.LatchBus("hs", 2, 0)
+	// Frame counter: words since the last CRC flush.
+	frame := b.LatchBus("fr", 2, 0)
+
+	empty := b.IsZero(fill)
+	full := b.EqConst(fill, uint64(depth))
+	notBusy := b.Not(busy)
+
+	hsIdle := b.EqConst(hs, 0)
+	// Start a new word when the FIFO has data, the serializer is free,
+	// and the receiver handshake is idle.
+	start := b.And(b.Not(empty), notBusy, hsIdle)
+	lastBit := b.EqConst(bitCnt, uint64(w-1))
+	sendDone := b.And(busy, lastBit)
+
+	doPush := b.And(push, b.Not(full))
+	doPop := start
+
+	// FIFO shifts toward index 0 on pop; new words enter at the fill
+	// position — modeled as: on pop every slot takes the next; on push
+	// the slot addressed by fill takes din (when both, pop happens first
+	// conceptually; the combined case writes at fill-1).
+	fillDec := b.Decrementer(fill)
+	fillInc, _ := b.Incrementer(fill)
+	fillNext := b.MuxBus(doPop,
+		b.MuxBus(doPush, fill, fillDec),
+		b.MuxBus(doPush, fillInc, fill))
+	b.SetNextBus(fill, fillNext)
+
+	for k := 0; k < depth; k++ {
+		var popVal []circuit.Sig
+		if k == depth-1 {
+			popVal = b.ConstBus(0, w)
+		} else {
+			popVal = fifo[k+1]
+		}
+		afterPop := b.MuxBus(doPop, popVal, fifo[k])
+		// Write position after the optional pop.
+		writeIdx := b.MuxBus(doPop, fillDec, fill)
+		atK := b.EqConst(writeIdx, uint64(k))
+		next := b.MuxBus(b.And(doPush, atK), din, afterPop)
+		b.SetNextBus(fifo[k], next)
+	}
+
+	// Serializer datapath.
+	shShift := make([]circuit.Sig, w)
+	copy(shShift, sh[1:])
+	shShift[w-1] = b.Const(false)
+	shNext := b.MuxBus(start, fifo[0], b.MuxBus(busy, shShift, sh))
+	b.SetNextBus(sh, shNext)
+	bcInc, _ := b.Incrementer(bitCnt)
+	bcNext := b.MuxBus(start, b.ConstBus(0, bcBits),
+		b.MuxBus(busy, bcInc, bitCnt))
+	b.SetNextBus(bitCnt, bcNext)
+	busyNext := b.Or(start, b.And(busy, b.Not(lastBit)))
+	b.SetNext(busy, busyNext)
+
+	// CRC folds the transmitted bit while busy.
+	txBit := sh[0]
+	fb := b.Xor(crc[cw-1], txBit)
+	crcNext := make([]circuit.Sig, cw)
+	// Taps at positions 0, 1, and cw-1 (CRC-style polynomial sketch).
+	for i := 0; i < cw; i++ {
+		var shifted circuit.Sig
+		if i == 0 {
+			shifted = fb
+		} else {
+			shifted = crc[i-1]
+		}
+		if i == 1 || i == cw-1 {
+			shifted = b.Xor(shifted, fb)
+		}
+		crcNext[i] = shifted
+	}
+	crcHold := b.MuxBus(busy, crcNext, crc)
+	// CRC clears when a frame (4 words) completes.
+	frameWrap := b.EqConst(frame, 3)
+	crcFinal := b.MuxBus(b.And(sendDone, frameWrap), b.ConstBus(0, cw), crcHold)
+	b.SetNextBus(crc, crcFinal)
+
+	frameInc, _ := b.Incrementer(frame)
+	frameNext := b.MuxBus(sendDone, frameInc, frame)
+	b.SetNextBus(frame, frameNext)
+
+	// Handshake FSM: idle -> wait (word sent) -> ack (receiver ready) ->
+	// idle; a third state guards against spurious rxReady.
+	hsWait := b.EqConst(hs, 1)
+	hsAck := b.EqConst(hs, 2)
+	hs0Next := b.Or(b.And(hsIdle, sendDone), b.And(hsWait, b.Not(rxReady)))
+	hs1Next := b.Or(b.And(hsWait, rxReady), b.And(hsAck, b.Not(rxReady)))
+	b.SetNext(hs[0], hs0Next)
+	b.SetNext(hs[1], hs1Next)
+
+	b.Output("tx", txBit)
+	b.Output("crcmsb", crc[cw-1])
+	b.Output("overflow", b.And(push, full))
+	b.OutputBus("fillq", fill)
+	return b.MustBuild()
+}

@@ -1,0 +1,90 @@
+package model
+
+import (
+	"fmt"
+
+	"bddkit/internal/circuit"
+)
+
+// S5378Config sizes the random-control-logic model standing in for
+// s5378opt (121 flip-flops after optimization).
+type S5378Config struct {
+	Units     int // number of counter/LFSR units
+	UnitWidth int // width of each unit
+}
+
+// S5378Small is a scaled-down instance for tests.
+func S5378Small() S5378Config { return S5378Config{Units: 2, UnitWidth: 3} }
+
+// S5378Full approximates the original's register count: 15 units of width
+// 8 give 120 state bits plus an arbiter, near s5378opt's 121.
+func S5378Full() S5378Config { return S5378Config{Units: 15, UnitWidth: 8} }
+
+// S5378 builds a bank of weakly coupled units — alternating binary
+// counters and LFSRs — chained by enable signals (a unit advances when its
+// predecessor is at a magic value), plus a round-robin arbiter that grants
+// one unit's request per cycle. The coupling keeps the product state space
+// large while the per-unit behavior stays simple, mimicking optimized
+// random control logic.
+func S5378(cfg S5378Config) *circuit.Netlist {
+	u := cfg.Units
+	w := cfg.UnitWidth
+	b := circuit.NewBuilder(fmt.Sprintf("s5378_u%d_w%d", u, w))
+
+	en := b.Input("en")
+	kick := b.InputBus("kick", u) // per-unit external nudge
+
+	units := make([][]circuit.Sig, u)
+	for k := range units {
+		units[k] = b.LatchBus(fmt.Sprintf("u%d_", k), w, uint64(k)%2)
+	}
+	// Arbiter: one-hot-ish grant pointer (binary-encoded).
+	grBits := 1
+	for 1<<uint(grBits) < u {
+		grBits++
+	}
+	grant := b.LatchBus("gr", grBits, 0)
+
+	prevMagic := en
+	for k := 0; k < u; k++ {
+		reg := units[k]
+		advance := b.Or(b.And(prevMagic, en), kick[k])
+		var nextVal []circuit.Sig
+		if k%2 == 0 {
+			// Binary counter unit.
+			inc, _ := b.Incrementer(reg)
+			nextVal = inc
+		} else {
+			// Fibonacci LFSR unit: shift left, feedback from the two
+			// top bits.
+			fbSrc := reg[w-1]
+			if w > 1 {
+				fbSrc = b.Xor(reg[w-1], reg[w-2])
+			}
+			nextVal = make([]circuit.Sig, w)
+			nextVal[0] = fbSrc
+			copy(nextVal[1:], reg[:w-1])
+		}
+		granted := b.EqConst(grant, uint64(k))
+		step := b.And(advance, b.Or(granted, en))
+		b.SetNextBus(reg, b.MuxBus(step, nextVal, reg))
+		// Magic value: all-ones for counters, 1 for LFSRs.
+		if k%2 == 0 {
+			prevMagic = b.EqConst(reg, uint64(1<<uint(w)-1))
+		} else {
+			prevMagic = b.EqConst(reg, 1)
+		}
+	}
+
+	// Round-robin grant: advance whenever the granted unit is at its
+	// magic value or the enable toggles it.
+	grInc, _ := b.Incrementer(grant)
+	wrap := b.EqConst(grant, uint64(u-1))
+	grNext := b.MuxBus(wrap, b.ConstBus(0, grBits), grInc)
+	b.SetNextBus(grant, b.MuxBus(en, grNext, grant))
+
+	b.Output("magic", prevMagic)
+	b.OutputBus("grq", grant)
+	b.OutputBus("u0q", units[0])
+	return b.MustBuild()
+}

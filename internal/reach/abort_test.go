@@ -1,0 +1,65 @@
+package reach
+
+import (
+	"testing"
+	"time"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/model"
+)
+
+// TestCheckInvariantBudgetUnknown: a microscopic budget yields "unknown"
+// (no counterexample, not completed) without panicking, even though the
+// abort fires inside BDD operations.
+func TestCheckInvariantBudgetUnknown(t *testing.T) {
+	nl := model.S5378(model.S5378Config{Units: 4, UnitWidth: 4})
+	c := compile(t, nl)
+	a, err := NewAnalyzer(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unreachable bad state, so only a complete traversal could prove
+	// the invariant.
+	bad := m1(c, 1<<uint(len(c.StateVars)-1))
+	cex, res, err := a.CheckInvariant(bad, Options{Budget: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Fatal("microsecond budget produced a counterexample")
+	}
+	if res.Completed {
+		t.Fatal("microsecond budget claimed completion")
+	}
+	c.M.Deref(bad)
+	c.M.Deref(res.Reached)
+	a.Release()
+	c.Release()
+}
+
+// TestOpAbortedLeavesManagerUsable: after an aborted traversal the manager
+// still passes the structural check and supports new work.
+func TestOpAbortedLeavesManagerUsable(t *testing.T) {
+	nl := model.S5378(model.S5378Config{Units: 4, UnitWidth: 4})
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tr.BFS(c.Init, Options{Budget: time.Microsecond})
+	if res.Completed {
+		t.Fatal("unexpected completion")
+	}
+	// The manager must remain structurally sound and usable.
+	if err := c.M.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	f := c.M.And(c.M.IthVar(0), c.M.IthVar(1))
+	if f == bdd.Zero {
+		t.Fatal("manager unusable after abort")
+	}
+	c.M.Deref(f)
+	c.M.Deref(res.Reached)
+	tr.Release()
+	c.Release()
+}

@@ -1,0 +1,100 @@
+package reach
+
+import (
+	"testing"
+	"time"
+
+	"bddkit/internal/circuit"
+	"bddkit/internal/model"
+)
+
+// TestBudgetAbort: a traversal with a microscopic budget must return
+// quickly, flagged as incomplete, with a usable partial reached set.
+func TestBudgetAbort(t *testing.T) {
+	nl := model.S5378(model.S5378Config{Units: 4, UnitWidth: 4})
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res := tr.BFS(c.Init, Options{Budget: time.Microsecond})
+	if res.Completed {
+		t.Fatal("microsecond budget reported completion")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("budget abort took far too long")
+	}
+	// The partial result must at least contain the initial state.
+	if !c.M.Leq(c.Init, res.Reached) {
+		t.Fatal("partial reached set lost the initial state")
+	}
+	c.M.Deref(res.Reached)
+
+	hd := tr.HighDensity(c.Init, Options{Budget: time.Microsecond})
+	if hd.Completed {
+		t.Fatal("HD microsecond budget reported completion")
+	}
+	c.M.Deref(hd.Reached)
+	tr.Release()
+	c.Release()
+}
+
+// TestNoLatchesError: building a TR over a purely combinational circuit is
+// an error, not a panic.
+func TestNoLatchesError(t *testing.T) {
+	nl := model.MultiplierNetlist(4)
+	c, err := circuit.Compile(nl, circuit.CompileOptions{SkipNextVars: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release()
+	if _, err := NewTR(c, DefaultTROptions()); err == nil {
+		t.Fatal("expected an error for a combinational circuit")
+	}
+}
+
+// TestHDWithoutPImg: high-density traversal with exact images still
+// converges to BFS's answer.
+func TestHDWithoutPImg(t *testing.T) {
+	nl := model.S1269(model.S1269Small())
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs := tr.BFS(c.Init, Options{})
+	hd := tr.HighDensity(c.Init, Options{Subset: RUASubsetter(1.0)})
+	if bfs.Reached != hd.Reached {
+		t.Fatalf("HD (no PImg) diverged: %v vs %v states", hd.States, bfs.States)
+	}
+	c.M.Deref(bfs.Reached)
+	c.M.Deref(hd.Reached)
+	tr.Release()
+	c.Release()
+}
+
+// TestImageMonotone: the image of a subset is a subset of the image.
+func TestImageMonotone(t *testing.T) {
+	nl := model.Am2910(model.Am2910Small())
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ImageStats
+	imgInit := tr.Image(c.Init, nil, &st)
+	full := tr.Image(imgInit, nil, &st)
+	// init ⊆ init ∪ img, so Image(init) ⊆ Image(init ∪ img).
+	union := c.M.Or(c.Init, imgInit)
+	imgUnion := tr.Image(union, nil, &st)
+	if !c.M.Leq(imgInit, imgUnion) {
+		t.Fatal("image not monotone")
+	}
+	c.M.Deref(imgInit)
+	c.M.Deref(full)
+	c.M.Deref(union)
+	c.M.Deref(imgUnion)
+	tr.Release()
+	c.Release()
+}

@@ -1,0 +1,206 @@
+package reach
+
+import (
+	"fmt"
+	"time"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+)
+
+// Analyzer couples a compiled circuit with its transition relation and
+// provides the model-checking entry points built on reachability: invariant
+// checking with counterexample extraction. This is the verification
+// workload that motivates the paper's approximation algorithms.
+type Analyzer struct {
+	C  *circuit.Compiled
+	TR *TR
+}
+
+// NewAnalyzer builds the transition relation for a compiled circuit.
+func NewAnalyzer(c *circuit.Compiled, opts TROptions) (*Analyzer, error) {
+	tr, err := NewTR(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{C: c, TR: tr}, nil
+}
+
+// Release frees the transition relation (the compiled circuit is owned by
+// the caller).
+func (a *Analyzer) Release() { a.TR.Release() }
+
+// Counterexample is a concrete trace from the initial state to a state
+// violating the invariant: States[0] is initial, States[len-1] is bad, and
+// Inputs[i] drives the step from States[i] to States[i+1].
+type Counterexample struct {
+	States [][]bool
+	Inputs [][]bool
+}
+
+// Len returns the number of steps in the trace.
+func (c *Counterexample) Len() int { return len(c.Inputs) }
+
+// CheckInvariant checks whether bad (a predicate over the present-state
+// variables) is reachable from the circuit's initial state. It returns a
+// nil counterexample when the invariant ¬bad holds on all reachable
+// states; otherwise it returns a minimal-length concrete trace. The
+// traversal result (reached set and statistics) is returned either way;
+// the caller owns res.Reached.
+//
+// The search is breadth-first with onion rings so the returned trace is
+// shortest; an incomplete traversal (budget) with no violation found
+// returns (nil, res) with res.Completed == false, meaning "unknown".
+func (a *Analyzer) CheckInvariant(bad bdd.Ref, opts Options) (cex *Counterexample, res Result, err error) {
+	m := a.C.M
+	tr := a.TR
+	var st ImageStats
+	start := time.Now()
+	if opts.Budget > 0 {
+		st.Deadline = start.Add(opts.Budget)
+		m.SetDeadline(st.Deadline)
+		defer m.SetDeadline(time.Time{})
+	}
+
+	// Onion rings: rings[i] = states first reached at distance i.
+	rings := []bdd.Ref{m.Ref(a.C.Init)}
+	release := func() {
+		for _, r := range rings {
+			m.Deref(r)
+		}
+	}
+	reached := m.Ref(a.C.Init)
+
+	// The budget can trip inside any allocating operation below; an
+	// abort means "unknown": no counterexample, incomplete traversal.
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bdd.OpAborted); !ok {
+				panic(r)
+			}
+			release()
+			cex = nil
+			err = nil
+			res = Result{
+				Reached:    reached,
+				States:     tr.StateCount(reached),
+				Nodes:      m.DagSize(reached),
+				Iterations: len(rings) - 1,
+				Elapsed:    time.Since(start),
+				Stats:      st,
+			}
+		}
+	}()
+	hitRing := -1
+	if x := m.And(a.C.Init, bad); x != bdd.Zero {
+		hitRing = 0
+		m.Deref(x)
+	} else {
+		m.Deref(x)
+	}
+	completed := false
+	for hitRing < 0 {
+		img := tr.Image(rings[len(rings)-1], nil, &st)
+		if st.Aborted {
+			m.Deref(img)
+			break
+		}
+		fresh := m.Diff(img, reached)
+		m.Deref(img)
+		if fresh == bdd.Zero {
+			m.Deref(fresh)
+			completed = true
+			break
+		}
+		nr := m.Or(reached, fresh)
+		m.Deref(reached)
+		reached = nr
+		rings = append(rings, fresh)
+		if x := m.And(fresh, bad); x != bdd.Zero {
+			hitRing = len(rings) - 1
+			m.Deref(x)
+		} else {
+			m.Deref(x)
+		}
+		if opts.MaxIterations > 0 && len(rings) > opts.MaxIterations {
+			break
+		}
+	}
+	res = Result{
+		Reached:    reached,
+		States:     tr.StateCount(reached),
+		Nodes:      m.DagSize(reached),
+		Iterations: len(rings) - 1,
+		Completed:  completed || hitRing >= 0,
+		Elapsed:    time.Since(start),
+		Stats:      st,
+	}
+	if hitRing < 0 {
+		release()
+		return nil, res, nil
+	}
+	cex, err = a.trace(rings, hitRing, bad)
+	release()
+	if err != nil {
+		return nil, res, err
+	}
+	return cex, res, nil
+}
+
+// trace extracts a concrete shortest trace ending in bad ∧ rings[k],
+// stepping backwards with the next-state functions.
+func (a *Analyzer) trace(rings []bdd.Ref, k int, bad bdd.Ref) (*Counterexample, error) {
+	m := a.C.M
+	goal := m.And(rings[k], bad)
+	if goal == bdd.Zero {
+		m.Deref(goal)
+		return nil, fmt.Errorf("reach: internal error: empty goal ring")
+	}
+	states := make([][]bool, k+1)
+	inputs := make([][]bool, k)
+	cur := pickState(a.C, goal) // concrete bad state
+	m.Deref(goal)
+	states[k] = cur
+	for i := k - 1; i >= 0; i-- {
+		// pred(x, w) = ring_i(x) ∧ ⋀_j (δ_j(x,w) ≡ cur_j)
+		pred := m.Ref(rings[i])
+		for j, delta := range a.C.Next {
+			lit := delta
+			if !cur[j] {
+				lit = delta.Complement()
+			}
+			np := m.And(pred, lit)
+			m.Deref(pred)
+			pred = np
+			if pred == bdd.Zero {
+				break
+			}
+		}
+		if pred == bdd.Zero {
+			m.Deref(pred)
+			return nil, fmt.Errorf("reach: trace reconstruction failed at ring %d", i)
+		}
+		assignment := m.PickOneMinterm(pred, m.NumVars())
+		m.Deref(pred)
+		states[i] = make([]bool, len(a.C.StateVars))
+		for j, v := range a.C.StateVars {
+			states[i][j] = assignment[v]
+		}
+		inputs[i] = make([]bool, len(a.C.InputVars))
+		for j, v := range a.C.InputVars {
+			inputs[i][j] = assignment[v]
+		}
+		cur = states[i]
+	}
+	return &Counterexample{States: states, Inputs: inputs}, nil
+}
+
+// pickState extracts a concrete state from a predicate over state vars.
+func pickState(c *circuit.Compiled, set bdd.Ref) []bool {
+	assignment := c.M.PickOneMinterm(set, c.M.NumVars())
+	out := make([]bool, len(c.StateVars))
+	for j, v := range c.StateVars {
+		out[j] = assignment[v]
+	}
+	return out
+}

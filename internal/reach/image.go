@@ -1,0 +1,112 @@
+package reach
+
+import (
+	"time"
+
+	"bddkit/internal/approx"
+	"bddkit/internal/bdd"
+)
+
+// Subsetter extracts a dense subset of a BDD; the paper's Table 1 plugs
+// RemapUnderApprox or ShortPaths into this slot both for frontier
+// subsetting and partial-image subsetting.
+type Subsetter func(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref
+
+// RUASubsetter adapts RemapUnderApprox with the given quality factor.
+func RUASubsetter(quality float64) Subsetter {
+	return func(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
+		return approx.RemapUnderApprox(m, f, threshold, quality)
+	}
+}
+
+// SPSubsetter adapts ShortPaths.
+func SPSubsetter() Subsetter {
+	return func(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
+		return approx.ShortPaths(m, f, threshold)
+	}
+}
+
+// HBSubsetter adapts HeavyBranch.
+func HBSubsetter() Subsetter {
+	return func(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
+		return approx.HeavyBranch(m, f, threshold)
+	}
+}
+
+// PImg configures partial-image subsetting inside image computation (the
+// "PImg" column of Table 1): when an intermediate product exceeds Limit
+// nodes, it is replaced by a dense subset of at most Threshold nodes.
+type PImg struct {
+	Limit     int
+	Threshold int
+	Subset    Subsetter
+}
+
+// ImageStats accumulates work counters across image computations.
+type ImageStats struct {
+	Images        int  // image computations performed
+	AndExists     int  // relational products
+	PImgCuts      int  // partial-image subsettings applied
+	PeakLiveNodes int  // high-water mark of the manager's live nodes
+	PeakProduct   int  // largest intermediate product seen
+	Aborted       bool // an image hit the traversal deadline mid-way
+
+	// Deadline, when non-zero, aborts image computation between cluster
+	// conjunctions (set by the traversals from Options.Budget; an
+	// in-flight relational product cannot be interrupted, so some
+	// overshoot remains possible).
+	Deadline time.Time
+}
+
+// Image computes the set of successors of from (a predicate over the
+// present-state variables), expressed again over the present-state
+// variables. With a non-nil pimg the result may be a dense subset of the
+// exact image (partial image computation, Section 4 of the paper).
+//
+// When the traversal deadline trips inside a BDD operation (see
+// bdd.OpAborted), the abort is absorbed here: the image reports Zero and
+// st.Aborted is set, which the traversal loops treat as "budget over".
+func (tr *TR) Image(from bdd.Ref, pimg *PImg, st *ImageStats) (res bdd.Ref) {
+	m := tr.M
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bdd.OpAborted); ok {
+				st.Aborted = true
+				res = m.Ref(bdd.Zero)
+				return
+			}
+			panic(r)
+		}
+	}()
+	st.Images++
+	cur := m.ExistsCube(from, tr.PreCube)
+	for k, c := range tr.Clusters {
+		if !st.Deadline.IsZero() && time.Now().After(st.Deadline) {
+			st.Aborted = true
+			m.Deref(cur)
+			return m.Ref(bdd.Zero)
+		}
+		next := m.AndExists(cur, c, tr.Schedule[k])
+		m.Deref(cur)
+		cur = next
+		st.AndExists++
+		if sz := m.DagSize(cur); sz > st.PeakProduct {
+			st.PeakProduct = sz
+		}
+		if pimg != nil && pimg.Limit > 0 {
+			if sz := m.DagSize(cur); sz > pimg.Limit {
+				sub := pimg.Subset(m, cur, pimg.Threshold)
+				m.Deref(cur)
+				cur = sub
+				st.PImgCuts++
+			}
+		}
+	}
+	// Rename next-state to present-state variables.
+	res = m.Permute(cur, tr.n2s)
+	m.Deref(cur)
+	if live := m.NodeCount(); live > st.PeakLiveNodes {
+		st.PeakLiveNodes = live
+	}
+	return res
+}

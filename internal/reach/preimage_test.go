@@ -1,0 +1,121 @@
+package reach
+
+import (
+	"testing"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+	"bddkit/internal/model"
+)
+
+// TestPreImageCounter: on an en-gated counter, Pre({q == k}) is
+// {q == k-1} ∪ {q == k} (step with enable, or hold without).
+func TestPreImageCounter(t *testing.T) {
+	const k = 5
+	nl := counterNetlist(k)
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := func(v int) bdd.Ref {
+		m := c.M
+		r := m.Ref(bdd.One)
+		for i, sv := range c.StateVars {
+			lit := m.IthVar(sv)
+			if v>>uint(i)&1 == 0 {
+				lit = lit.Complement()
+			}
+			nr := m.And(r, lit)
+			m.Deref(r)
+			r = nr
+		}
+		return r
+	}
+	var st ImageStats
+	for _, target := range []int{1, 7, 19} {
+		to := eq(target)
+		pre := tr.PreImage(to, &st)
+		prev := eq(target - 1)
+		want := c.M.Or(prev, to)
+		if pre != want {
+			t.Fatalf("Pre(q==%d) wrong: %v states", target, tr.StateCount(pre))
+		}
+		for _, r := range []bdd.Ref{to, pre, prev, want} {
+			c.M.Deref(r)
+		}
+	}
+	tr.Release()
+	c.Release()
+}
+
+// TestPreImageDuality: for the total transition relations of circuits
+// (every state has a successor for every input), from ⊆ Pre(Image(from)).
+func TestPreImageDuality(t *testing.T) {
+	models := []*circuit.Netlist{
+		counterNetlist(4),
+		model.S1269(model.S1269Small()),
+		model.S5378(model.S5378Small()),
+	}
+	for _, nl := range models {
+		c := compile(t, nl)
+		tr, err := NewTR(c, DefaultTROptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st ImageStats
+		img := tr.Image(c.Init, nil, &st)
+		pre := tr.PreImage(img, &st)
+		if !c.M.Leq(c.Init, pre) {
+			t.Fatalf("%s: init not in Pre(Image(init))", nl.Name)
+		}
+		// And dually, every state in the image has a predecessor in
+		// init's... at least the image must intersect Image(pre).
+		img2 := tr.Image(pre, nil, &st)
+		if !c.M.Leq(img, img2) {
+			t.Fatalf("%s: Image(Pre(Image)) lost successors", nl.Name)
+		}
+		for _, r := range []bdd.Ref{img, pre, img2} {
+			c.M.Deref(r)
+		}
+		tr.Release()
+		c.Release()
+	}
+}
+
+// TestBackwardForwardAgreement: bad is forward-reachable from init iff
+// init is backward-reachable from bad.
+func TestBackwardForwardAgreement(t *testing.T) {
+	nl := model.S5378(model.S5378Small())
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.M
+	fwd := tr.BFS(c.Init, Options{})
+	// Pick a reachable state and an unreachable one (if any).
+	reachableTarget := m.Ref(fwd.Reached)
+	var st ImageStats
+	// Backward closure from the (huge) reachable set must contain init.
+	back := m.Ref(reachableTarget)
+	for {
+		pre := tr.PreImage(back, &st)
+		nb := m.Or(back, pre)
+		m.Deref(pre)
+		if nb == back {
+			m.Deref(nb)
+			break
+		}
+		m.Deref(back)
+		back = nb
+	}
+	if !m.Leq(c.Init, back) {
+		t.Fatal("backward closure from reachable states misses init")
+	}
+	m.Deref(back)
+	m.Deref(reachableTarget)
+	m.Deref(fwd.Reached)
+	tr.Release()
+	c.Release()
+}

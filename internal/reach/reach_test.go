@@ -1,0 +1,225 @@
+package reach
+
+import (
+	"testing"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+	"bddkit/internal/model"
+)
+
+// compile builds a model's BDDs for reachability.
+func compile(t *testing.T, nl *circuit.Netlist) *circuit.Compiled {
+	t.Helper()
+	c, err := circuit.Compile(nl, circuit.CompileOptions{})
+	if err != nil {
+		t.Fatalf("%s: %v", nl.Name, err)
+	}
+	return c
+}
+
+func counterNetlist(k int) *circuit.Netlist {
+	b := circuit.NewBuilder("counter")
+	en := b.Input("en")
+	q := b.LatchBus("q", k, 0)
+	inc, _ := b.Incrementer(q)
+	next := b.MuxBus(en, inc, q)
+	b.SetNextBus(q, next)
+	b.Output("tc", b.EqConst(q, uint64(1<<uint(k)-1)))
+	return b.MustBuild()
+}
+
+func TestBFSCounter(t *testing.T) {
+	const k = 6
+	c := compile(t, counterNetlist(k))
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tr.BFS(c.Init, Options{})
+	if res.States != float64(int(1)<<k) {
+		t.Fatalf("counter reachable states = %v, want %d", res.States, 1<<k)
+	}
+	// A k-bit counter needs 2^k image computations to converge.
+	if res.Iterations != 1<<k {
+		t.Fatalf("iterations = %d, want %d", res.Iterations, 1<<k)
+	}
+	c.M.Deref(res.Reached)
+	tr.Release()
+	c.Release()
+	if err := c.M.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBFSMatchesSimulation: every state visited by random simulation is in
+// the BFS reached set, and the BFS set is closed under the transition
+// function.
+func TestBFSMatchesSimulation(t *testing.T) {
+	nl := model.S5378(model.S5378Small())
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tr.BFS(c.Init, Options{})
+	sim, _ := circuit.NewSimulator(nl)
+	assignment := func(state []bool) []bool {
+		a := make([]bool, c.M.NumVars())
+		for i, v := range c.StateVars {
+			a[v] = state[i]
+		}
+		return a
+	}
+	steps := 0
+	for i := 0; i < 500; i++ {
+		in := make([]bool, len(nl.Inputs))
+		for j := range in {
+			in[j] = (i>>uint(j%4))&1 == 1
+		}
+		sim.Step(in)
+		steps++
+		if !c.M.Eval(res.Reached, assignment(sim.State())) {
+			t.Fatalf("simulated state at step %d not in reached set", steps)
+		}
+	}
+	c.M.Deref(res.Reached)
+	tr.Release()
+	c.Release()
+}
+
+// TestHighDensityEqualsBFS: the HD traversal converges to the exact
+// reachable set on every small model, for every subsetter.
+func TestHighDensityEqualsBFS(t *testing.T) {
+	models := map[string]*circuit.Netlist{
+		"counter": counterNetlist(5),
+		"s5378":   model.S5378(model.S5378Small()),
+		"s1269":   model.S1269(model.S1269Small()),
+		"am2910":  model.Am2910(model.Am2910Config{Width: 3, StackDepth: 2}),
+		"s3330":   model.S3330(model.S3330Small()),
+	}
+	for name, nl := range models {
+		c := compile(t, nl)
+		tr, err := NewTR(c, DefaultTROptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfs := tr.BFS(c.Init, Options{})
+		for subName, sub := range map[string]Subsetter{
+			"rua": RUASubsetter(1.0),
+			"sp":  SPSubsetter(),
+			"hb":  HBSubsetter(),
+		} {
+			hd := tr.HighDensity(c.Init, Options{
+				Subset:    sub,
+				Threshold: 20,
+				PImg:      &PImg{Limit: 500, Threshold: 200, Subset: sub},
+			})
+			if hd.Reached != bfs.Reached {
+				t.Fatalf("%s/%s: HD reached %v states, BFS %v",
+					name, subName, hd.States, bfs.States)
+			}
+			c.M.Deref(hd.Reached)
+		}
+		c.M.Deref(bfs.Reached)
+		tr.Release()
+		c.Release()
+		if err := c.M.DebugCheck(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestScheduleQuantifiesEverything: after the last cluster no present-state
+// or input variable may remain in an image result.
+func TestImageVarsAreStateOnly(t *testing.T) {
+	nl := model.S1269(model.S1269Small())
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ImageStats
+	img := tr.Image(c.Init, nil, &st)
+	isState := make(map[int]bool)
+	for _, v := range c.StateVars {
+		isState[v] = true
+	}
+	for _, v := range c.M.SupportVars(img) {
+		if !isState[v] {
+			t.Fatalf("image depends on non-state variable %d", v)
+		}
+	}
+	c.M.Deref(img)
+	tr.Release()
+	c.Release()
+}
+
+// TestPartialImageIsSubset: with PImg active, a single HD image is always
+// contained in the exact image.
+func TestPartialImageIsSubset(t *testing.T) {
+	nl := model.Am2910(model.Am2910Small())
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ImageStats
+	exact := tr.Image(c.Init, nil, &st)
+	partial := tr.Image(c.Init, &PImg{Limit: 10, Threshold: 5, Subset: RUASubsetter(1.0)}, &st)
+	if !c.M.Leq(partial, exact) {
+		t.Fatal("partial image not contained in exact image")
+	}
+	c.M.Deref(exact)
+	c.M.Deref(partial)
+	tr.Release()
+	c.Release()
+}
+
+// TestClusterThresholdSplits: a small cluster threshold yields more
+// clusters than a huge one, and both give identical images.
+func TestClusterThresholds(t *testing.T) {
+	nl := model.S5378(model.S5378Small())
+	c := compile(t, nl)
+	trSmall, err := NewTR(c, TROptions{ClusterSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trBig, err := NewTR(c, TROptions{ClusterSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trSmall.Clusters) <= len(trBig.Clusters) {
+		t.Fatalf("clustering had no effect: %d vs %d clusters",
+			len(trSmall.Clusters), len(trBig.Clusters))
+	}
+	var st ImageStats
+	a := trSmall.Image(c.Init, nil, &st)
+	b := trBig.Image(c.Init, nil, &st)
+	if a != b {
+		t.Fatal("images differ across cluster thresholds")
+	}
+	c.M.Deref(a)
+	c.M.Deref(b)
+	trSmall.Release()
+	trBig.Release()
+	c.Release()
+}
+
+// TestInitialStateCount sanity-checks StateCount.
+func TestInitialStateCount(t *testing.T) {
+	nl := counterNetlist(4)
+	c := compile(t, nl)
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.StateCount(c.Init); got != 1 {
+		t.Fatalf("initial state count = %v", got)
+	}
+	if got := tr.StateCount(bdd.One); got != 16 {
+		t.Fatalf("full space count = %v", got)
+	}
+	tr.Release()
+	c.Release()
+}

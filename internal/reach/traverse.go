@@ -1,0 +1,205 @@
+package reach
+
+import (
+	"time"
+
+	"bddkit/internal/bdd"
+)
+
+// Options selects and parameterizes a traversal.
+type Options struct {
+	// Subset extracts the dense frontier subset in high-density mode
+	// (nil selects BFS).
+	Subset Subsetter
+	// Threshold is the frontier-subset size target (the "Th" column of
+	// Table 1; 0 lets a safe subsetter shrink freely).
+	Threshold int
+	// PImg enables partial-image subsetting (the "PImg" column; nil =
+	// exact images, the paper's "NA").
+	PImg *PImg
+	// MaxIterations aborts runaway traversals (0 = no bound).
+	MaxIterations int
+	// Budget aborts the traversal after the given wall-clock time
+	// (0 = unbounded). An aborted traversal reports Completed = false
+	// and returns the states found so far.
+	Budget time.Duration
+}
+
+// Result reports a completed traversal.
+type Result struct {
+	Reached    bdd.Ref // exact reached set (caller owns the reference)
+	States     float64 // number of reachable states
+	Nodes      int     // |Reached|
+	Iterations int     // outer image computations
+	Closure    int     // exact closure checks run (HD only)
+	Completed  bool    // false when MaxIterations or Budget aborted the run
+	Elapsed    time.Duration
+	Stats      ImageStats
+}
+
+// BFS computes the exact reachable states from init by breadth-first
+// fixpoint iteration.
+func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
+	start := time.Now()
+	m := tr.M
+	var st ImageStats
+	if opts.Budget > 0 {
+		st.Deadline = start.Add(opts.Budget)
+		m.SetDeadline(st.Deadline)
+		defer m.SetDeadline(time.Time{})
+	}
+	reached := m.Ref(init)
+	iters := 0
+	completed := false
+	// The budget can trip inside any allocating operation of the loop,
+	// not only inside Image; treat an abort as "budget exhausted" and
+	// report the states found so far.
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bdd.OpAborted); !ok {
+				panic(r)
+			}
+			res = Result{
+				Reached:    reached,
+				States:     tr.StateCount(reached),
+				Nodes:      m.DagSize(reached),
+				Iterations: iters,
+				Elapsed:    time.Since(start),
+				Stats:      st,
+			}
+		}
+	}()
+	frontier := m.Ref(init)
+	for {
+		iters++
+		img := tr.Image(frontier, nil, &st)
+		m.Deref(frontier)
+		if st.Aborted {
+			m.Deref(img)
+			break
+		}
+		fresh := m.Diff(img, reached)
+		m.Deref(img)
+		if fresh == bdd.Zero {
+			m.Deref(fresh)
+			completed = true
+			break
+		}
+		nr := m.Or(reached, fresh)
+		m.Deref(reached)
+		reached = nr
+		frontier = fresh
+		if overBudget(start, iters, opts) {
+			m.Deref(frontier)
+			break
+		}
+	}
+	return Result{
+		Reached:    reached,
+		States:     tr.StateCount(reached),
+		Nodes:      m.DagSize(reached),
+		Iterations: iters,
+		Completed:  completed,
+		Elapsed:    time.Since(start),
+		Stats:      st,
+	}
+}
+
+// HighDensity computes the exact reachable states using the high-density
+// traversal of Ravi–Somenzi (ICCAD'95) as configured for the paper's
+// Table 1: each iteration feeds image computation a dense subset of the
+// new states (extracted by opts.Subset), and intermediate image products
+// may themselves be subsetted (opts.PImg). When the subset frontier stops
+// producing new states, an exact image of the whole reached set checks
+// closure, so the final result equals BFS's.
+func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
+	start := time.Now()
+	m := tr.M
+	if opts.Subset == nil {
+		opts.Subset = RUASubsetter(1.0)
+	}
+	var st ImageStats
+	if opts.Budget > 0 {
+		st.Deadline = start.Add(opts.Budget)
+		m.SetDeadline(st.Deadline)
+		defer m.SetDeadline(time.Time{})
+	}
+	closures := 0
+	reached := m.Ref(init)
+	iters := 0
+	completed := false
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bdd.OpAborted); !ok {
+				panic(r)
+			}
+			res = Result{
+				Reached:    reached,
+				States:     tr.StateCount(reached),
+				Nodes:      m.DagSize(reached),
+				Iterations: iters,
+				Closure:    closures,
+				Elapsed:    time.Since(start),
+				Stats:      st,
+			}
+		}
+	}()
+	frontier := m.Ref(init) // dense subset of the unexplored states
+	for {
+		iters++
+		img := tr.Image(frontier, opts.PImg, &st)
+		m.Deref(frontier)
+		if st.Aborted {
+			m.Deref(img)
+			break
+		}
+		fresh := m.Diff(img, reached)
+		m.Deref(img)
+		if fresh == bdd.Zero {
+			// The dense frontier is exhausted; verify global closure
+			// with an exact image of the full reached set.
+			m.Deref(fresh)
+			closures++
+			img := tr.Image(reached, nil, &st)
+			if st.Aborted {
+				m.Deref(img)
+				break
+			}
+			fresh = m.Diff(img, reached)
+			m.Deref(img)
+			if fresh == bdd.Zero {
+				m.Deref(fresh)
+				completed = true
+				break
+			}
+		}
+		nr := m.Or(reached, fresh)
+		m.Deref(reached)
+		reached = nr
+		frontier = opts.Subset(m, fresh, opts.Threshold)
+		m.Deref(fresh)
+		if overBudget(start, iters, opts) {
+			m.Deref(frontier)
+			break
+		}
+	}
+	return Result{
+		Reached:    reached,
+		States:     tr.StateCount(reached),
+		Nodes:      m.DagSize(reached),
+		Iterations: iters,
+		Closure:    closures,
+		Completed:  completed,
+		Elapsed:    time.Since(start),
+		Stats:      st,
+	}
+}
+
+// overBudget reports whether a traversal hit its iteration or wall-clock
+// bound.
+func overBudget(start time.Time, iters int, opts Options) bool {
+	if opts.MaxIterations > 0 && iters >= opts.MaxIterations {
+		return true
+	}
+	return opts.Budget > 0 && time.Since(start) > opts.Budget
+}

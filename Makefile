@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check test vet build race bench
+
+## check: vet, build, test everything, then race-test the BDD core.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/bdd
+
+## bench: run the memory-subsystem benchmarks plus the two paper-level
+## benchmarks the cache overhaul is measured by; raw output lands in
+## BENCH_cache.txt and a parsed summary in BENCH_cache.json.
+bench:
+	$(GO) test ./internal/bdd -run XXX -bench 'BenchmarkCacheChurn|BenchmarkUniqueTable' -benchmem | tee BENCH_cache.txt
+	$(GO) test . -run XXX -bench 'BenchmarkITEMultiplier|BenchmarkTable1Reachability' | tee -a BENCH_cache.txt
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { \
+	    if (n++) print ","; \
+	    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $$1, $$2, $$3 \
+	  } \
+	  END { print "\n]" }' BENCH_cache.txt > BENCH_cache.json
+	@echo "wrote BENCH_cache.txt and BENCH_cache.json"

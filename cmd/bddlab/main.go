@@ -35,6 +35,9 @@ func main() {
 	dot := flag.String("dot", "", "write the (approximated) BDD in Graphviz format to this file")
 	save := flag.String("save", "", "persist the (approximated) BDD to this file (bddkit-bdd format)")
 	static := flag.Bool("static", false, "compile with the DFS static variable order")
+	cacheBits := flag.Uint("cache-bits", 0, "initial computed-table size = 1<<bits (0 = default)")
+	cacheMaxBits := flag.Uint("cache-max-bits", 0, "adaptive computed-table growth ceiling = 1<<bits (0 = default)")
+	stats := flag.Bool("stats", false, "print computed-cache and unique-table statistics on exit")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -50,14 +53,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c, err := circuit.Compile(nl, circuit.CompileOptions{
+	opts := circuit.CompileOptions{
 		SkipNextVars: len(nl.Latches) == 0,
 		StaticOrder:  *static,
-	})
+	}
+	if *cacheBits != 0 || *cacheMaxBits != 0 {
+		cfg := bdd.DefaultConfig()
+		if *cacheBits != 0 {
+			cfg.CacheBits = *cacheBits
+		}
+		if *cacheMaxBits != 0 {
+			cfg.CacheMaxBits = *cacheMaxBits
+		}
+		opts.BDDConfig = &cfg
+	}
+	c, err := circuit.Compile(nl, opts)
 	if err != nil {
 		fatal(err)
 	}
 	m := c.M
+	if *stats {
+		defer func() {
+			fmt.Println(m.CacheStats())
+			fmt.Println(m.UniqueStats())
+		}()
+	}
 
 	report := func(label string, g bdd.Ref) {
 		fmt.Printf("%-24s |f| = %-8d ||f|| = %-14.6g density = %.6g\n",

@@ -31,6 +31,7 @@ func main() {
 	pimgTh := flag.Int("pimg-threshold", 0, "partial-image subset size")
 	budget := flag.Duration("budget", 5*time.Minute, "wall-clock budget")
 	cluster := flag.Int("cluster", 2500, "transition-relation cluster threshold")
+	stats := flag.Bool("stats", false, "print computed-cache and unique-table statistics on exit")
 	flag.Parse()
 
 	nl, err := pickModel(*mdl, *in, *scale)
@@ -91,7 +92,16 @@ func main() {
 		res.Stats.Images, res.Stats.AndExists, res.Stats.PImgCuts)
 	fmt.Printf("  peak        %d live nodes, %d largest product\n",
 		res.Stats.PeakLiveNodes, res.Stats.PeakProduct)
+	if res.Stats.CacheLookups > 0 {
+		fmt.Printf("  cache       %.1f%% hit rate (%d lookups)\n",
+			100*float64(res.Stats.CacheHits)/float64(res.Stats.CacheLookups),
+			res.Stats.CacheLookups)
+	}
 	fmt.Printf("  time        %v\n", res.Elapsed.Round(time.Millisecond))
+	if *stats {
+		fmt.Println(c.M.CacheStats())
+		fmt.Println(c.M.UniqueStats())
+	}
 	c.M.Deref(res.Reached)
 	tr.Release()
 	c.Release()

@@ -11,4 +11,13 @@
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the paper-vs-measured comparison. The benchmarks in
 // bench_test.go exercise one paper table each.
+//
+// Client algorithms memoize in the manager's shared computed table under
+// operation codes obtained from Manager.CacheOp. Codes are never recycled:
+// a manager hands out at most 2^32 or so codes over its lifetime and
+// CacheOp panics rather than wrap into the built-in operation space, so
+// algorithms that call it per invocation (the intended pattern — results
+// become invisible to later calls with no explicit invalidation) get
+// billions of invocations per manager, and callers that can reuse a code
+// across calls should.
 package bddkit

@@ -61,6 +61,10 @@ type info struct {
 	m     *bdd.Manager
 	cfg   RemapConfig
 	nodes map[uint32]*nodeData
+	// buildOp is the per-invocation computed-table code under which the
+	// rebuild pass memoizes its results in the manager's shared cache
+	// (see buildResult).
+	buildOp uint32
 	// Estimates of the result: size in nodes and minterm fraction.
 	resultSize int
 	resultFrac float64

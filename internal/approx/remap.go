@@ -332,27 +332,27 @@ func enqueueChildren(in *info, q *levelQueue, v bdd.Ref, d *nodeData) {
 }
 
 // buildResult is the third pass (Figure 2): rebuild f applying the recorded
-// replacements. Memoization is on seen functions; single-parity replacement
-// guarantees consistency.
+// replacements. Memoization is on seen functions, through the manager's
+// shared computed table under a fresh per-invocation operation code (so
+// entries from earlier invocations, keyed by the same Refs but different
+// replacement decisions, can never be confused for this one's);
+// single-parity replacement guarantees consistency. The returned Ref is
+// owned by the caller.
 func buildResult(in *info, f bdd.Ref) bdd.Ref {
-	m := in.m
-	memo := make(map[bdd.Ref]bdd.Ref)
-	r := buildRec(in, f, memo)
-	m.Ref(r)
-	for _, v := range memo {
-		m.Deref(v)
-	}
-	return r
+	in.buildOp = in.m.CacheOp()
+	return buildRec(in, f)
 }
 
-func buildRec(in *info, seen bdd.Ref, memo map[bdd.Ref]bdd.Ref) bdd.Ref {
+func buildRec(in *info, seen bdd.Ref) bdd.Ref {
 	if seen.IsConstant() {
 		return seen
 	}
-	if r, ok := memo[seen]; ok {
-		return r
-	}
 	m := in.m
+	if r, ok := m.CacheLookup(in.buildOp, seen, 0, 0); ok {
+		// The cached result may be dead (the memo holds no references);
+		// revive it before any allocation can collect it.
+		return m.Ref(r)
+	}
 	d := in.at(seen)
 	var r bdd.Ref
 	switch d.status {
@@ -361,21 +361,23 @@ func buildRec(in *info, seen bdd.Ref, memo map[bdd.Ref]bdd.Ref) bdd.Ref {
 	case statusRemap:
 		// The recorded child was computed for the parity the node is
 		// reached with; seen necessarily has that parity.
-		sub := buildRec(in, d.sel, memo)
-		r = m.Ref(sub)
+		r = buildRec(in, d.sel)
 	case statusGrandchild:
-		g := buildRec(in, d.sel, memo)
+		g := buildRec(in, d.sel)
 		y := m.IthVar(d.selVar)
 		if d.selThen {
 			r = m.ITE(y, g, bdd.Zero)
 		} else {
 			r = m.ITE(y, bdd.Zero, g)
 		}
+		m.Deref(g)
 	default:
-		t := buildRec(in, m.Hi(seen), memo)
-		e := buildRec(in, m.Lo(seen), memo)
+		t := buildRec(in, m.Hi(seen))
+		e := buildRec(in, m.Lo(seen))
 		r = m.ITE(m.IthVar(m.Var(seen)), t, e)
+		m.Deref(t)
+		m.Deref(e)
 	}
-	memo[seen] = r
+	m.CacheInsert(in.buildOp, seen, 0, 0, r)
 	return r
 }

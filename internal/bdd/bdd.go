@@ -107,8 +107,15 @@ func makeRef(idx int32, complement bool) Ref {
 type Config struct {
 	// InitialNodes sizes the node arena at startup.
 	InitialNodes int
-	// CacheBits sets the computed-table size to 1<<CacheBits entries.
+	// CacheBits sets the initial computed-table size to 1<<CacheBits
+	// entries.
 	CacheBits uint
+	// CacheMaxBits caps the computed table's adaptive growth at
+	// 1<<CacheMaxBits entries; the table doubles when a resize epoch
+	// sustains a high hit rate under heavy insert traffic. Zero selects
+	// the default ceiling; a nonzero value at or below CacheBits pins the
+	// cache at its initial size.
+	CacheMaxBits uint
 	// GCFraction triggers garbage collection when dead nodes exceed this
 	// fraction of the arena (checked on allocation pressure).
 	GCFraction float64
@@ -122,6 +129,7 @@ func DefaultConfig() Config {
 	return Config{
 		InitialNodes: 1 << 14,
 		CacheBits:    18,
+		CacheMaxBits: 22,
 		GCFraction:   0.25,
 		MaxGrowth:    2.0,
 	}
@@ -169,14 +177,22 @@ type subtable struct {
 
 // Stats accumulates operation counters for reporting and benchmarking.
 type Stats struct {
-	UniqueLookups int64 // makeNode calls
-	UniqueHits    int64 // makeNode found an existing node
-	CacheLookups  int64 // computed-table probes
-	CacheHits     int64 // computed-table hits
-	GCs           int64 // garbage collections
-	GCNodes       int64 // nodes reclaimed by GC
-	Reorderings   int64 // sifting passes
-	Resurrected   int64 // dead nodes brought back by a unique-table hit
+	UniqueLookups    int64 // makeNode calls
+	UniqueHits       int64 // makeNode found an existing node
+	UniqueGrows      int64 // unique-subtable doublings (load or chain driven)
+	CacheLookups     int64 // computed-table probes
+	CacheHits        int64 // computed-table hits
+	CacheInserts     int64 // computed-table insertions
+	CacheEvictions   int64 // live entries displaced by in-set aging
+	CacheResizes     int64 // adaptive computed-table doublings
+	CacheSweeps      int64 // selective invalidation passes (one per GC)
+	CacheSurvived    int64 // entries preserved across selective sweeps
+	CacheDropped     int64 // entries dropped by selective sweeps
+	CacheGenerations int64 // O(1) wholesale invalidations (reordering)
+	GCs              int64 // garbage collections
+	GCNodes          int64 // nodes reclaimed by GC
+	Reorderings      int64 // sifting passes
+	Resurrected      int64 // dead nodes brought back by a unique-table hit
 }
 
 // New creates a Manager with numVars variables (indexed 0..numVars-1, with
@@ -194,6 +210,9 @@ func NewWithConfig(numVars int, cfg Config) *Manager {
 	if cfg.CacheBits == 0 {
 		cfg.CacheBits = def.CacheBits
 	}
+	if cfg.CacheMaxBits == 0 {
+		cfg.CacheMaxBits = def.CacheMaxBits
+	}
 	if cfg.GCFraction <= 0 {
 		cfg.GCFraction = def.GCFraction
 	}
@@ -209,7 +228,7 @@ func NewWithConfig(numVars int, cfg Config) *Manager {
 	}
 	// Node 0 is the terminal. It is permanently referenced.
 	m.nodes[0] = node{level: terminalLevel, hi: One, lo: One, next: nilIndex, ref: refSaturated}
-	m.cache.init(cfg.CacheBits)
+	m.cache.init(cfg.CacheBits, cfg.CacheMaxBits)
 	m.liveCount = 1
 	for i := 0; i < numVars; i++ {
 		m.AddVar()

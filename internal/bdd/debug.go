@@ -62,7 +62,9 @@ func (m *Manager) DebugCheck() error {
 			return fmt.Errorf("node %d has ref %d < %d live parents", idx, n.ref, parentRefs[idx])
 		}
 	}
-	return nil
+	// No visible computed-cache entry may mention a freed arena slot
+	// (selective invalidation must have dropped it).
+	return m.checkCache()
 }
 
 // ReferencedNodeCount returns the number of live internal nodes (excludes

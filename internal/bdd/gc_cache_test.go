@@ -1,0 +1,193 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGCSweepPreservesLiveEntries checks the selective invalidation
+// contract: a garbage collection drops only computed-table entries that
+// mention freed slots, so results whose operands and result all survive
+// remain cached across the GC.
+func TestGCSweepPreservesLiveEntries(t *testing.T) {
+	const nVars = 12
+	m := New(nVars)
+	rng := rand.New(rand.NewSource(42))
+
+	// Live results: conjunction pairs kept referenced through the GC.
+	live := make([]Ref, 0, 8)
+	operands := make([]Ref, 0, 16)
+	for i := 0; i < 8; i++ {
+		f := randomOnSet(m, rng, nVars, 0.4)
+		g := randomOnSet(m, rng, nVars, 0.4)
+		live = append(live, m.And(f, g))
+		operands = append(operands, f, g)
+	}
+	// Dead clutter: results dropped before the GC, whose nodes the
+	// collection will free (and whose cache entries must go with them).
+	for i := 0; i < 8; i++ {
+		f := randomOnSet(m, rng, nVars, 0.3)
+		g := randomOnSet(m, rng, nVars, 0.3)
+		m.Deref(m.Xor(f, g))
+		m.Deref(f)
+		m.Deref(g)
+	}
+
+	m.GarbageCollect()
+	s := m.CacheStats()
+	if s.Sweeps == 0 {
+		t.Fatalf("GC did not run a selective cache sweep: %+v", s)
+	}
+	if s.LastSweepSurvived == 0 {
+		t.Fatalf("no cache entries survived the GC sweep (wholesale invalidation?): %+v", s)
+	}
+	if s.LastSweepDropped == 0 {
+		t.Fatalf("no cache entries were dropped despite dead operands: %+v", s)
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatalf("DebugCheck after GC sweep: %v", err)
+	}
+
+	// The surviving entries must still denote the same functions: repeating
+	// the live conjunctions yields the identical Refs.
+	for i := range live {
+		r := m.And(operands[2*i], operands[2*i+1])
+		if r != live[i] {
+			t.Fatalf("conjunction %d changed across GC: got %v want %v", i, r, live[i])
+		}
+		m.Deref(r)
+	}
+}
+
+// TestCacheHitRevivesDeadResult pins the dead-but-revivable contract: a
+// computed-table hit may return a Ref whose nodes are dead (refcount zero),
+// and the operation wrappers must revive it into a valid caller-owned
+// reference.
+func TestCacheHitRevivesDeadResult(t *testing.T) {
+	const nVars = 10
+	m := New(nVars)
+	rng := rand.New(rand.NewSource(7))
+	f := randomOnSet(m, rng, nVars, 0.5)
+	g := randomOnSet(m, rng, nVars, 0.5)
+
+	r1 := m.And(f, g)
+	tt := truthTable(m, r1, nVars)
+	m.Deref(r1) // r1's nodes are now dead but still cached
+
+	// No GC has run, so the recomputation must hit the cache, revive the
+	// dead nodes, and hand back the same canonical Ref.
+	before := m.Stats().CacheHits
+	r2 := m.And(f, g)
+	if r2 != r1 {
+		t.Fatalf("recomputation returned %v, want revived %v", r2, r1)
+	}
+	if m.Stats().CacheHits == before {
+		t.Fatalf("recomputation missed the cache")
+	}
+	tt2 := truthTable(m, r2, nVars)
+	for i, want := range tt {
+		if tt2[i] != want {
+			t.Fatalf("revived result differs at minterm %d", i)
+		}
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatalf("DebugCheck after revival: %v", err)
+	}
+}
+
+// TestReorderInvalidatesByGeneration checks that reordering invalidates the
+// computed table through a generation bump — entries inserted before the
+// reorder become invisible — and that the bump is counted.
+func TestReorderInvalidatesByGeneration(t *testing.T) {
+	const nVars = 8
+	m := New(nVars)
+	rng := rand.New(rand.NewSource(11))
+	fns := make([]Ref, 6)
+	for i := range fns {
+		fns[i] = randomOnSet(m, rng, nVars, 0.5)
+	}
+
+	op := m.CacheOp()
+	key := m.IthVar(0)
+	m.CacheInsert(op, key, 0, 0, m.IthVar(1))
+	if _, ok := m.CacheLookup(op, key, 0, 0); !ok {
+		t.Fatalf("freshly inserted entry not found")
+	}
+
+	genBefore := m.CacheStats().Generation
+	bumpsBefore := m.Stats().CacheGenerations
+	m.Reorder(ReorderSift, SiftConfig{})
+	if g := m.CacheStats().Generation; g == genBefore {
+		t.Fatalf("reordering did not bump the cache generation (still %d)", g)
+	}
+	if b := m.Stats().CacheGenerations; b != bumpsBefore+1 {
+		t.Fatalf("CacheGenerations = %d, want %d", b, bumpsBefore+1)
+	}
+	if _, ok := m.CacheLookup(op, key, 0, 0); ok {
+		t.Fatalf("pre-reorder cache entry still visible after generation bump")
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatalf("DebugCheck after reorder: %v", err)
+	}
+	for _, f := range fns {
+		m.Deref(f)
+	}
+}
+
+// TestAdaptiveCacheResize drives the cache with a hot working set plus cold
+// insert traffic so a resize epoch sustains a high hit rate under heavy
+// insertion, and checks the table doubles up to (and not beyond) its
+// ceiling.
+func TestAdaptiveCacheResize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBits = 8
+	cfg.CacheMaxBits = 12
+	m := NewWithConfig(4, cfg)
+
+	start := m.CacheStats()
+	if start.Entries != 1<<8 {
+		t.Fatalf("initial cache size %d, want %d", start.Entries, 1<<8)
+	}
+
+	// Keys are projection-variable Refs (permanently live), so the pattern
+	// drives only the cache, not allocation. Two hot probes per cold
+	// insert+probe keeps the epoch hit rate around 2/3 while the insert
+	// traffic exceeds a full table per epoch.
+	op := m.CacheOp()
+	hot := m.IthVar(0)
+	m.CacheInsert(op, hot, 0, 0, hot)
+	res := m.IthVar(1)
+	for i := uint32(1); i < 1<<16; i++ {
+		m.CacheLookup(op, hot, 0, 0)
+		m.CacheLookup(op, hot, 0, 0)
+		cold := Ref(i << 8) // distinct keys, never repeated
+		m.CacheLookup(op, cold, cold, 0)
+		m.CacheInsert(op, cold, cold, 0, res)
+	}
+	s := m.CacheStats()
+	if s.Resizes == 0 {
+		t.Fatalf("cache never resized: %+v", s)
+	}
+	if s.Entries <= start.Entries {
+		t.Fatalf("cache did not grow: %d -> %d", start.Entries, s.Entries)
+	}
+	if s.Entries > 1<<12 {
+		t.Fatalf("cache grew past its ceiling: %d > %d", s.Entries, 1<<12)
+	}
+	if _, ok := m.CacheLookup(op, hot, 0, 0); !ok {
+		t.Fatalf("hot entry lost across resizes")
+	}
+}
+
+// TestCacheOpOverflowPanics checks the code-space exhaustion contract.
+func TestCacheOpOverflowPanics(t *testing.T) {
+	m := New(1)
+	m.userOp = math.MaxUint32 - opUser + 1 // next code would wrap
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("CacheOp did not panic on code-space exhaustion")
+		}
+	}()
+	m.CacheOp()
+}

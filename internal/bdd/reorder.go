@@ -82,9 +82,11 @@ func (m *Manager) Reorder(method ReorderMethod, cfg SiftConfig) int {
 		cfg.MaxGrowth = m.maxGrowth
 	}
 	// Reordering must not race a garbage collection triggered by its own
-	// makeNode calls: sweep first, then forbid GC for the duration.
-	m.GarbageCollect()
-	m.cache.clear()
+	// makeNode calls: sweep first, then forbid GC for the duration. The
+	// cache is not swept here — swapInPlace rewrites children and frees
+	// nodes without cache maintenance, so the whole table is invalidated
+	// at the end with an O(1) generation bump instead.
+	m.gc(false)
 	m.noGC = true
 	defer func() { m.noGC = false }()
 
@@ -106,14 +108,23 @@ func (m *Manager) Reorder(method ReorderMethod, cfg SiftConfig) int {
 	case ReorderExact:
 		m.exactReorder()
 	}
-	m.GarbageCollectDeferred()
+	// Sweep the dead left behind by the swaps, then invalidate every
+	// cached result at once: node children were rewritten in place, so no
+	// pre-reorder entry can be trusted. The generation bump costs O(1);
+	// no walk over the cache happens on this path.
+	saved := m.noGC
+	m.noGC = false
+	m.gc(false)
+	m.noGC = saved
+	m.cache.invalidateAll()
+	m.stats.CacheGenerations++
 	m.stats.Reorderings++
 	return m.liveCount
 }
 
 // GarbageCollectDeferred sweeps dead nodes even while noGC blocks
-// collection inside allocation; used at the end of reordering when the
-// table is consistent again.
+// collection inside allocation; used when the table is consistent again
+// after a pass that suspended collection.
 func (m *Manager) GarbageCollectDeferred() {
 	saved := m.noGC
 	m.noGC = false

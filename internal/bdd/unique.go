@@ -25,6 +25,12 @@ const (
 	// A subtable doubles when its population exceeds loadFactor times the
 	// bucket count.
 	loadFactor = 4
+	// A subtable also doubles early when a makeNode probe walks a chain of
+	// at least longChain nodes while the table is at least half full: the
+	// chain-length tail degrades lookups well before the average load
+	// does, so growth is triggered before the tail forms rather than
+	// after.
+	longChain = 8
 )
 
 func newSubtable() subtable {
@@ -65,7 +71,9 @@ func (m *Manager) makeNode(level int32, hi, lo Ref) Ref {
 	m.stats.UniqueLookups++
 	st := &m.subtables[level]
 	b := hash3(level, hi, lo) & st.mask
+	chain := 0
 	for idx := st.buckets[b]; idx != nilIndex; idx = m.nodes[idx].next {
+		chain++
 		n := &m.nodes[idx]
 		if n.hi == hi && n.lo == lo {
 			m.stats.UniqueHits++
@@ -87,10 +95,24 @@ func (m *Manager) makeNode(level int32, hi, lo Ref) Ref {
 	// The new live node holds references on its children.
 	m.refChild(hi)
 	m.refChild(lo)
-	if st.count > loadFactor*len(st.buckets) {
+	if st.count > loadFactor*len(st.buckets) ||
+		(chain >= longChain && 2*st.count > len(st.buckets)) {
 		m.growSubtable(level)
 	}
 	return makeRef(idx, complement)
+}
+
+// refAlive reports whether f's arena slot currently holds a live node.
+// Freed slots are identified by the level -1 stamp set when a node goes on
+// the free list. This is the cheap liveness check behind the computed
+// cache's selective invalidation (cacheSweepDead).
+func (m *Manager) refAlive(f Ref) bool {
+	idx := f.index()
+	if int64(idx) >= int64(len(m.nodes)) {
+		return false
+	}
+	n := &m.nodes[idx]
+	return n.level >= 0 && n.ref != 0
 }
 
 // refChild adds the reference a newly created (or revived) parent holds on
@@ -127,6 +149,7 @@ func (m *Manager) allocNode() int32 {
 }
 
 func (m *Manager) growSubtable(level int32) {
+	m.stats.UniqueGrows++
 	st := &m.subtables[level]
 	nb := len(st.buckets) * 2
 	buckets := make([]int32, nb)
@@ -149,9 +172,18 @@ func (m *Manager) growSubtable(level int32) {
 }
 
 // GarbageCollect removes all dead nodes from the unique table, returns them
-// to the free list, and clears the computed cache. Refs to live nodes are
-// unaffected. It returns the number of nodes reclaimed.
+// to the free list, and selectively invalidates the computed cache: only
+// entries that mention a reclaimed node are dropped, the rest stay valid.
+// Refs to live nodes are unaffected. It returns the number of nodes
+// reclaimed.
 func (m *Manager) GarbageCollect() int {
+	return m.gc(true)
+}
+
+// gc is GarbageCollect with control over the cache sweep. Reordering
+// passes sweepCache=false: it invalidates the whole cache afterwards with
+// a generation bump, so walking it entry by entry would be wasted work.
+func (m *Manager) gc(sweepCache bool) int {
 	if m.deadCount == 0 {
 		return 0
 	}
@@ -178,7 +210,9 @@ func (m *Manager) GarbageCollect() int {
 		}
 	}
 	m.deadCount -= collected
-	m.cache.clear()
+	if sweepCache {
+		m.cacheSweepDead()
+	}
 	m.stats.GCs++
 	m.stats.GCNodes += int64(collected)
 	return collected

@@ -189,6 +189,7 @@ type MethodResult struct {
 	States    float64 // states found (exact when Done, explored otherwise)
 	Nodes     int     // |reached| at the end
 	PeakNodes int     // manager live-node high-water mark
+	CacheHit  float64 // computed-table hit rate over the run
 }
 
 // Table1Row mirrors one row of the paper's Table 1, extended with the
@@ -334,13 +335,17 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		}
 
 		toMethod := func(r reach.Result) MethodResult {
-			return MethodResult{
+			mr := MethodResult{
 				Time:      r.Elapsed,
 				Done:      r.Completed,
 				States:    r.States,
 				Nodes:     r.Nodes,
 				PeakNodes: r.Stats.PeakLiveNodes,
 			}
+			if r.Stats.CacheLookups > 0 {
+				mr.CacheHit = float64(r.Stats.CacheHits) / float64(r.Stats.CacheLookups)
+			}
+			return mr
 		}
 
 		bfs, err := run(func(tr *reach.TR, init bdd.Ref) reach.Result {
@@ -446,8 +451,8 @@ func PrintTable1(w io.Writer, rows []Table1Row) {
 			if !m.mr.Done {
 				status = "partial"
 			}
-			fmt.Fprintf(w, "%s %s %.3g states, peak %d nodes; ",
-				m.name, status, m.mr.States, m.mr.PeakNodes)
+			fmt.Fprintf(w, "%s %s %.3g states, peak %d nodes, cache %.0f%%; ",
+				m.name, status, m.mr.States, m.mr.PeakNodes, 100*m.mr.CacheHit)
 		}
 		fmt.Fprintln(w)
 	}

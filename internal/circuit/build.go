@@ -23,6 +23,10 @@ type CompileOptions struct {
 	// of a multiplier), often shrinking the compiled BDDs by orders of
 	// magnitude compared to bus-by-bus declaration order.
 	StaticOrder bool
+	// BDDConfig, when non-nil, supplies the manager configuration
+	// (computed-cache sizing, GC thresholds, ...) instead of the
+	// defaults, letting command-line tools tune the memory subsystem.
+	BDDConfig *bdd.Config
 }
 
 // Compiled holds the BDD image of a netlist: one variable per latch
@@ -50,7 +54,12 @@ func Compile(nl *Netlist, opts CompileOptions) (*Compiled, error) {
 	if err := nl.Validate(); err != nil {
 		return nil, err
 	}
-	m := bdd.New(0)
+	var m *bdd.Manager
+	if opts.BDDConfig != nil {
+		m = bdd.NewWithConfig(0, *opts.BDDConfig)
+	} else {
+		m = bdd.New(0)
+	}
 	c := &Compiled{M: m, Nl: nl}
 	c.StateVars = make([]int, len(nl.Latches))
 	if !opts.SkipNextVars {

@@ -65,11 +65,12 @@ type Config struct {
 // DecomposeConfig is Decompose with explicit combine-step configuration.
 func DecomposeConfig(m *bdd.Manager, f bdd.Ref, pts Points, cfg Config) Pair {
 	defer m.PauseAutoReorder()()
-	d := &decomposer{m: m, pts: pts, cfg: cfg, cache: make(map[bdd.Ref]entry)}
+	d := &decomposer{
+		m: m, pts: pts, cfg: cfg,
+		opG: m.CacheOp(), opH: m.CacheOp(),
+		est: make(map[bdd.Ref][2]int),
+	}
 	e := d.rec(f)
-	m.Ref(e.g)
-	m.Ref(e.h)
-	d.release()
 	return Pair{G: e.g, H: e.h}
 }
 
@@ -86,27 +87,32 @@ type entry struct {
 }
 
 type decomposer struct {
-	m     *bdd.Manager
-	pts   Points
-	cfg   Config
-	cache map[bdd.Ref]entry
+	m   *bdd.Manager
+	pts Points
+	cfg Config
+	// The per-node factor pairs are memoized in the manager's shared
+	// computed table under two fresh per-invocation operation codes (one
+	// per factor); a lossy cache is fine because an evicted pair is
+	// simply recomputed. The size estimates ride in a plain side map —
+	// they hold no node references, so they need no eviction handling.
+	opG, opH uint32
+	est      map[bdd.Ref][2]int
 }
 
-func (d *decomposer) release() {
-	for _, e := range d.cache {
-		d.m.Deref(e.g)
-		d.m.Deref(e.h)
-	}
-}
-
-// rec implements the decomp procedure of Figure 5 on seen functions.
+// rec implements the decomp procedure of Figure 5 on seen functions. The
+// returned entry's g and h each carry one reference owned by the caller.
 func (d *decomposer) rec(f bdd.Ref) entry {
 	m := d.m
 	if f.IsConstant() {
 		return entry{g: f, h: bdd.One}
 	}
-	if e, ok := d.cache[f]; ok {
-		return e
+	if g, ok := m.CacheLookup(d.opG, f, 0, 0); ok {
+		if h, ok := m.CacheLookup(d.opH, f, 0, 0); ok {
+			// Either factor may be dead on a hit; revive both before
+			// any allocation can collect them.
+			c := d.est[f]
+			return entry{g: m.Ref(g), h: m.Ref(h), cg: c[0], ch: c[1]}
+		}
 	}
 	x := m.IthVar(m.Var(f))
 	ft, fe := m.Hi(f), m.Lo(f)
@@ -143,7 +149,13 @@ func (d *decomposer) rec(f bdd.Ref) entry {
 			e.h = m.ITE(x, et.h, ee.g)
 			e.cg, e.ch = cg+1, ch+1
 		}
+		m.Deref(et.g)
+		m.Deref(et.h)
+		m.Deref(ee.g)
+		m.Deref(ee.h)
 	}
-	d.cache[f] = e
+	m.CacheInsert(d.opG, f, 0, 0, e.g)
+	m.CacheInsert(d.opH, f, 0, 0, e.h)
+	d.est[f] = [2]int{e.cg, e.ch}
 	return e
 }

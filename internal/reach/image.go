@@ -51,6 +51,12 @@ type ImageStats struct {
 	PeakProduct   int  // largest intermediate product seen
 	Aborted       bool // an image hit the traversal deadline mid-way
 
+	// Computed-table traffic over the manager for the whole run (the
+	// traversals run on a fresh manager, so these are attributable to the
+	// run): the memory-subsystem story behind the timing columns.
+	CacheLookups int64 // computed-table probes
+	CacheHits    int64 // computed-table hits
+
 	// Deadline, when non-zero, aborts image computation between cluster
 	// conjunctions (set by the traversals from Options.Budget; an
 	// in-flight relational product cannot be interrupted, so some

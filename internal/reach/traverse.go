@@ -59,6 +59,7 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 			if _, ok := r.(bdd.OpAborted); !ok {
 				panic(r)
 			}
+			captureCacheStats(m, &st)
 			res = Result{
 				Reached:    reached,
 				States:     tr.StateCount(reached),
@@ -94,6 +95,7 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 			break
 		}
 	}
+	captureCacheStats(m, &st)
 	return Result{
 		Reached:    reached,
 		States:     tr.StateCount(reached),
@@ -133,6 +135,7 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 			if _, ok := r.(bdd.OpAborted); !ok {
 				panic(r)
 			}
+			captureCacheStats(m, &st)
 			res = Result{
 				Reached:    reached,
 				States:     tr.StateCount(reached),
@@ -183,6 +186,7 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 			break
 		}
 	}
+	captureCacheStats(m, &st)
 	return Result{
 		Reached:    reached,
 		States:     tr.StateCount(reached),
@@ -202,4 +206,13 @@ func overBudget(start time.Time, iters int, opts Options) bool {
 		return true
 	}
 	return opts.Budget > 0 && time.Since(start) > opts.Budget
+}
+
+// captureCacheStats snapshots the manager's computed-table counters into
+// st at the end of a traversal; each Table 1 run uses a fresh manager, so
+// the totals describe that run alone.
+func captureCacheStats(m *bdd.Manager, st *ImageStats) {
+	s := m.Stats()
+	st.CacheLookups = s.CacheLookups
+	st.CacheHits = s.CacheHits
 }

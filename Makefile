@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: check test vet build race bench
+.PHONY: check test vet build race bench obs-smoke
 
 ## check: vet, build, test everything, then race-test the BDD core.
 check: vet build test race
 
+## vet: static analysis plus race-testing the packages with lock-free fast
+## paths (the obs registry/tracer and the BDD core).
 vet:
 	$(GO) vet ./...
+	$(GO) test -race -count=1 ./internal/obs/... ./internal/bdd/...
 
 build:
 	$(GO) build ./...
@@ -30,3 +33,12 @@ bench:
 	  } \
 	  END { print "\n]" }' BENCH_cache.txt > BENCH_cache.json
 	@echo "wrote BENCH_cache.txt and BENCH_cache.json"
+
+## obs-smoke: end-to-end check of the observability layer — run a real
+## traversal with -trace and validate the JSONL schema and span coverage.
+obs-smoke:
+	$(GO) run ./cmd/reach -in testdata/counter.net -method hd-rua -threshold 20 \
+		-budget 30s -trace /tmp/bddkit-obs-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/obscheck \
+		-require reach.cluster,reach.iteration,reach.image,reach.subset,approx.rua \
+		/tmp/bddkit-obs-smoke.jsonl

@@ -23,7 +23,12 @@ import (
 	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
 	"bddkit/internal/decomp"
+	"bddkit/internal/obs"
 )
+
+// sess is the observability session, started from the -trace/-metrics/-obs
+// flags; package-level so fatal can flush it before exiting.
+var sess *obs.Session
 
 func main() {
 	in := flag.String("in", "", "input netlist file (required)")
@@ -38,11 +43,16 @@ func main() {
 	cacheBits := flag.Uint("cache-bits", 0, "initial computed-table size = 1<<bits (0 = default)")
 	cacheMaxBits := flag.Uint("cache-max-bits", 0, "adaptive computed-table growth ceiling = 1<<bits (0 = default)")
 	stats := flag.Bool("stats", false, "print computed-cache and unique-table statistics on exit")
+	var ocfg obs.Config
+	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	sess = ocfg.MustStart()
+	defer sess.Close()
+	defer sess.DumpOnPanic()
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -72,6 +82,7 @@ func main() {
 		fatal(err)
 	}
 	m := c.M
+	sess.ObserveManager(m)
 	if *stats {
 		defer func() {
 			fmt.Println(m.CacheStats())
@@ -185,5 +196,6 @@ func reportPair(m *bdd.Manager, p decomp.Pair) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bddlab:", err)
+	sess.Close() // os.Exit skips defers; flush the trace explicitly
 	os.Exit(1)
 }

@@ -8,23 +8,34 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"bddkit/internal/circuit"
+	"bddkit/internal/obs"
 )
 
+// sess is the observability session; package-level so fatal can flush it.
+var sess *obs.Session
+
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintf(os.Stderr, "usage: %s golden.net revised.net\n", os.Args[0])
+	var ocfg obs.Config
+	ocfg.AddFlags(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] golden.net revised.net\n", os.Args[0])
 		os.Exit(2)
 	}
-	a, err := load(os.Args[1])
+	sess = ocfg.MustStart()
+	defer sess.Close()
+	defer sess.DumpOnPanic()
+	a, err := load(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	b, err := load(os.Args[2])
+	b, err := load(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
@@ -50,6 +61,7 @@ func main() {
 		}
 		fmt.Printf("  %s = %d\n", n, v)
 	}
+	sess.Close() // os.Exit skips defers
 	os.Exit(1)
 }
 
@@ -64,5 +76,6 @@ func load(path string) (*circuit.Netlist, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "equiv:", err)
+	sess.Close() // os.Exit skips defers
 	os.Exit(1)
 }

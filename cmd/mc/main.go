@@ -17,8 +17,12 @@ import (
 	"bddkit/internal/circuit"
 	"bddkit/internal/mc"
 	"bddkit/internal/model"
+	"bddkit/internal/obs"
 	"bddkit/internal/reach"
 )
+
+// sess is the observability session; package-level so fatal can flush it.
+var sess *obs.Session
 
 func main() {
 	mdl := flag.String("model", "", "built-in model: am2910, s1269, s3330, s5378")
@@ -26,11 +30,16 @@ func main() {
 	ctl := flag.String("ctl", "", "CTL formula (required)")
 	reachable := flag.Bool("reachable", false, "restrict to reachable states first")
 	budget := flag.Duration("budget", 2*time.Minute, "reachability budget with -reachable")
+	var ocfg obs.Config
+	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *ctl == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	sess = ocfg.MustStart()
+	defer sess.Close()
+	defer sess.DumpOnPanic()
 
 	nl, err := pickModel(*mdl, *in)
 	if err != nil {
@@ -46,6 +55,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sess.ObserveManager(c.M)
 	tr, err := reach.NewTR(c, reach.DefaultTROptions())
 	if err != nil {
 		fatal(err)
@@ -72,6 +82,7 @@ func main() {
 		fmt.Println("PASS: every initial state satisfies the formula")
 	} else {
 		fmt.Println("FAIL: some initial state violates the formula")
+		sess.Close() // os.Exit skips defers
 		os.Exit(1)
 	}
 	c.M.Deref(sat)
@@ -106,5 +117,6 @@ func pickModel(mdl, in string) (*circuit.Netlist, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mc:", err)
+	sess.Close() // os.Exit skips defers
 	os.Exit(1)
 }

@@ -1,0 +1,65 @@
+// Command obscheck validates a JSONL trace file produced by the -trace
+// flag of the other commands: every line must be a well-formed span or
+// event record (see internal/obs). It prints a one-line summary and exits
+// nonzero on the first malformed line, which makes it usable as a smoke
+// check in CI (see `make obs-smoke`).
+//
+// Usage:
+//
+//	obscheck trace.jsonl
+//	obscheck -require reach.iteration trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"bddkit/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated span/event names that must appear at least once")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: %s [-require name,...] trace.jsonl\n", os.Args[0])
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	sum, err := obs.ValidateJSONL(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+	if *require != "" {
+		var missing []string
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && sum.ByName[name] == 0 {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: missing required records: %s\n",
+				flag.Arg(0), strings.Join(missing, ", "))
+			os.Exit(1)
+		}
+	}
+	names := make([]string, 0, len(sum.ByName))
+	for n := range sum.ByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d lines OK (%d spans, %d events)\n",
+		flag.Arg(0), sum.Lines, sum.Spans, sum.Events)
+	for _, n := range names {
+		fmt.Printf("  %-24s %d\n", n, sum.ByName[n])
+	}
+}

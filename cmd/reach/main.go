@@ -7,6 +7,7 @@
 //	reach -model am2910 -method hd-rua
 //	reach -model s5378 -scale full -method bfs -budget 5m
 //	reach -in mydesign.net -method hd-sp -threshold 2000
+//	reach -model counter -method bfs -trace trace.jsonl -obs :6060
 package main
 
 import (
@@ -17,10 +18,13 @@ import (
 
 	"bddkit/internal/circuit"
 	"bddkit/internal/model"
+	"bddkit/internal/obs"
 	"bddkit/internal/reach"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	mdl := flag.String("model", "", "built-in model: am2910, s1269, s3330, s5378, or counter")
 	in := flag.String("in", "", "netlist file (alternative to -model)")
 	scale := flag.String("scale", "small", "model scale: small, table1, full")
@@ -31,30 +35,13 @@ func main() {
 	pimgTh := flag.Int("pimg-threshold", 0, "partial-image subset size")
 	budget := flag.Duration("budget", 5*time.Minute, "wall-clock budget")
 	cluster := flag.Int("cluster", 2500, "transition-relation cluster threshold")
-	stats := flag.Bool("stats", false, "print computed-cache and unique-table statistics on exit")
+	stats := flag.Bool("stats", false, "print computed-cache and unique-table statistics after a successful run (stderr)")
+	var ocfg obs.Config
+	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	nl, err := pickModel(*mdl, *in, *scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "reach:", err)
-		os.Exit(2)
-	}
-	fmt.Printf("circuit %s: %d inputs, %d flip-flops, %d gates\n",
-		nl.Name, len(nl.Inputs), len(nl.Latches), nl.NumGates())
-
-	c, err := circuit.Compile(nl, circuit.CompileOptions{AutoReorder: true})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "reach:", err)
-		os.Exit(1)
-	}
-	tr, err := reach.NewTR(c, reach.TROptions{ClusterSize: *cluster})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "reach:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("transition relation: %d clusters\n", len(tr.Clusters))
-
-	opts := reach.Options{Threshold: *threshold, Budget: *budget}
+	// Validate every flag before doing any work: a bad -method must not
+	// cost a circuit compilation (and must not print statistics).
 	var sub reach.Subsetter
 	switch *method {
 	case "bfs":
@@ -66,8 +53,35 @@ func main() {
 		sub = reach.HBSubsetter()
 	default:
 		fmt.Fprintf(os.Stderr, "reach: unknown method %q\n", *method)
-		os.Exit(2)
+		return 2
 	}
+	nl, err := pickModel(*mdl, *in, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reach:", err)
+		return 2
+	}
+
+	sess := ocfg.MustStart()
+	defer sess.Close()
+	defer sess.DumpOnPanic()
+
+	fmt.Printf("circuit %s: %d inputs, %d flip-flops, %d gates\n",
+		nl.Name, len(nl.Inputs), len(nl.Latches), nl.NumGates())
+
+	c, err := circuit.Compile(nl, circuit.CompileOptions{AutoReorder: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reach:", err)
+		return 1
+	}
+	sess.ObserveManager(c.M)
+	tr, err := reach.NewTR(c, reach.TROptions{ClusterSize: *cluster})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reach:", err)
+		return 1
+	}
+	fmt.Printf("transition relation: %d clusters\n", len(tr.Clusters))
+
+	opts := reach.Options{Threshold: *threshold, Budget: *budget}
 	if *pimgLimit > 0 && sub != nil {
 		opts.PImg = &reach.PImg{Limit: *pimgLimit, Threshold: *pimgTh, Subset: sub}
 	}
@@ -97,14 +111,21 @@ func main() {
 			100*float64(res.Stats.CacheHits)/float64(res.Stats.CacheLookups),
 			res.Stats.CacheLookups)
 	}
-	fmt.Printf("  time        %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  time        %v (image %v, subset %v, closure %v)\n",
+		res.Elapsed.Round(time.Millisecond),
+		res.Stats.ImageTime.Round(time.Millisecond),
+		res.Stats.SubsetTime.Round(time.Millisecond),
+		res.Stats.ClosureTime.Round(time.Millisecond))
 	if *stats {
-		fmt.Println(c.M.CacheStats())
-		fmt.Println(c.M.UniqueStats())
+		// Diagnostics go to stderr, after the run: error paths above never
+		// reach this point, so a failed invocation prints no statistics.
+		fmt.Fprintln(os.Stderr, c.M.CacheStats())
+		fmt.Fprintln(os.Stderr, c.M.UniqueStats())
 	}
 	c.M.Deref(res.Reached)
 	tr.Release()
 	c.Release()
+	return 0
 }
 
 func pickModel(mdl, in, scale string) (*circuit.Netlist, error) {

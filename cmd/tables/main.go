@@ -17,12 +17,16 @@ import (
 
 	"bddkit/internal/bench"
 	"bddkit/internal/model"
+	"bddkit/internal/obs"
 )
 
 func main() {
 	table := flag.String("table", "all", "table to regenerate: 1, 2, 3, 4, ablation, or all")
 	paper := flag.Bool("paper", false, "use the paper-scale corpus and circuits (slower)")
 	budget := flag.Duration("budget", 2*time.Minute, "per-traversal budget for Table 1")
+	jsonOut := flag.String("json", "", "also write Table 1 rows with per-phase breakdowns as JSON to this `file` (\"-\" = stdout)")
+	var ocfg obs.Config
+	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	switch *table {
@@ -31,6 +35,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
 	}
+	sess := ocfg.MustStart()
+	defer sess.Close()
+	defer sess.DumpOnPanic()
 
 	var fns []bench.Fn
 	needCorpus := *table != "1"
@@ -64,6 +71,22 @@ func main() {
 		fmt.Println("Table 1: Reachability analysis results using BDD approximations.")
 		bench.PrintTable1(os.Stdout, rows)
 		fmt.Println()
+		if *jsonOut != "" {
+			w := os.Stdout
+			if *jsonOut != "-" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := bench.WriteTable1JSON(w, rows); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *table == "2" || *table == "all" {
 		fmt.Println("Table 2: Comparison of approximation methods I: Simple methods.")

@@ -1,6 +1,9 @@
 package approx
 
-import "bddkit/internal/bdd"
+import (
+	"bddkit/internal/bdd"
+	"bddkit/internal/obs"
+)
 
 // HeavyBranch (HB) is heavy-branch subsetting (Ravi–Somenzi, ICCAD'95;
 // Table 2 baseline of the paper). Starting at the root it repeatedly
@@ -16,6 +19,12 @@ func HeavyBranch(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 	}
 	if threshold < 1 {
 		threshold = 1
+	}
+	var sp *obs.Span
+	if obs.T.Enabled() {
+		sp = obs.T.Begin("approx.hb",
+			obs.Int("size_in", m.DagSize(f)),
+			obs.Int("threshold", threshold))
 	}
 	type step struct {
 		v      int
@@ -47,6 +56,9 @@ func HeavyBranch(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 		}
 		m.Deref(r)
 		r = nr
+	}
+	if sp != nil {
+		sp.End(obs.Int("size_out", m.DagSize(r)))
 	}
 	return r
 }

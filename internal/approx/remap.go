@@ -1,6 +1,9 @@
 package approx
 
-import "bddkit/internal/bdd"
+import (
+	"bddkit/internal/bdd"
+	"bddkit/internal/obs"
+)
 
 // RemapUnderApprox (RUA) is the paper's new safe underapproximation
 // algorithm (Section 2.1, Figures 2–4). It returns g ⇒ f with, for
@@ -37,10 +40,21 @@ func RemapUnderApproxConfig(m *bdd.Manager, f bdd.Ref, threshold int, quality fl
 	if f.IsConstant() {
 		return m.Ref(f)
 	}
+	var sp *obs.Span
+	if obs.T.Enabled() { // gate so the disabled path never pays for DagSize
+		sp = obs.T.Begin("approx.rua",
+			obs.Int("size_in", m.DagSize(f)),
+			obs.Int("threshold", threshold),
+			obs.F64("quality", quality))
+	}
 	in := analyze(m, f)
 	in.cfg = cfg
 	markNodes(in, f, threshold, quality)
-	return buildResult(in, f)
+	r := buildResult(in, f)
+	if sp != nil {
+		sp.End(obs.Int("size_out", m.DagSize(r)))
+	}
+	return r
 }
 
 // RemapOverApprox is the dual of RemapUnderApprox: it returns g with

@@ -1,6 +1,9 @@
 package approx
 
-import "bddkit/internal/bdd"
+import (
+	"bddkit/internal/bdd"
+	"bddkit/internal/obs"
+)
 
 // ShortPaths (SP) is short-path subsetting (Ravi–Somenzi, ICCAD'95; Table 2
 // baseline of the paper): short paths to the One terminal correspond to
@@ -19,6 +22,12 @@ func ShortPaths(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 	}
 	if m.DagSize(f) <= threshold {
 		return m.Ref(f)
+	}
+	var span *obs.Span
+	if obs.T.Enabled() {
+		span = obs.T.Begin("approx.sp",
+			obs.Int("size_in", m.DagSize(f)),
+			obs.Int("threshold", threshold))
 	}
 	sp := &shortPaths{m: m, dist: make(map[bdd.Ref]int)}
 	dmin := sp.distToOne(f)
@@ -44,7 +53,10 @@ func ShortPaths(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 	}
 	if !haveBest {
 		// Even the shortest paths overflow the threshold.
-		return sp.subset(f, dmin)
+		best = sp.subset(f, dmin)
+	}
+	if span != nil {
+		span.End(obs.Int("size_out", m.DagSize(best)))
 	}
 	return best
 }

@@ -193,6 +193,11 @@ type Stats struct {
 	GCNodes          int64 // nodes reclaimed by GC
 	Reorderings      int64 // sifting passes
 	Resurrected      int64 // dead nodes brought back by a unique-table hit
+
+	GCTime       time.Duration // total wall time spent in garbage collection
+	ReorderTime  time.Duration // total wall time spent in reordering passes
+	PeakLive     int           // high-water mark of live nodes
+	PeakITEDepth int           // deepest ITE recursion observed
 }
 
 // New creates a Manager with numVars variables (indexed 0..numVars-1, with
@@ -370,6 +375,9 @@ func (m *Manager) reclaim(f Ref) {
 	n.ref = 1
 	m.deadCount--
 	m.liveCount++
+	if m.liveCount > m.stats.PeakLive {
+		m.stats.PeakLive = m.liveCount
+	}
 	m.stats.Resurrected++
 	m.reclaim(n.hi)
 	m.reclaim(n.lo)

@@ -201,7 +201,10 @@ func (m *Manager) cacheEpoch() {
 	cc := &m.cache
 	lookups := m.stats.CacheLookups - cc.epochLookups
 	hits := m.stats.CacheHits - cc.epochHits
-	rate := float64(hits) / float64(lookups)
+	rate := 0.0
+	if lookups > 0 { // guard: a zero-lookup epoch must not record NaN
+		rate = float64(hits) / float64(lookups)
+	}
 	cc.epochRates = append(cc.epochRates, rate)
 	if len(cc.epochRates) > cacheEpochHistory {
 		cc.epochRates = cc.epochRates[len(cc.epochRates)-cacheEpochHistory:]

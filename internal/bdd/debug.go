@@ -5,8 +5,18 @@ import "fmt"
 // DebugCheck verifies the structural invariants of the manager: canonical
 // form of every stored node, consistency of the unique table, and sanity of
 // the reference counts. It returns the first violation found, or nil. It is
-// meant for tests; it takes time linear in the arena.
+// meant for tests; it takes time linear in the arena. A violation is also
+// reported to the installed Observer, which lets the flight recorder dump
+// the trace events leading up to the corruption.
 func (m *Manager) DebugCheck() error {
+	err := m.debugCheck()
+	if err != nil && observer != nil {
+		observer.DebugFailure(err)
+	}
+	return err
+}
+
+func (m *Manager) debugCheck() error {
 	// Parent reference counts recomputed from live nodes.
 	parentRefs := make([]int64, len(m.nodes))
 	live := 0

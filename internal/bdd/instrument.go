@@ -1,0 +1,43 @@
+package bdd
+
+import "time"
+
+// Observability hooks. The package deliberately does not import the obs
+// layer: instead an Observer is installed process-wide (by obs.Session, or
+// by tests) and receives the rare structural events — garbage collections,
+// reorderings, limit aborts, invariant failures — that metrics and the
+// flight recorder want attributed. Hot paths never call the observer; the
+// per-operation counters stay in Stats and are published by snapshot-time
+// gauges, so an absent observer costs a single nil check at each rare
+// event site.
+
+// Observer receives structural lifecycle events from every Manager in the
+// process. Implementations must be cheap and must not call back into the
+// reporting Manager (the table may be mid-surgery).
+type Observer interface {
+	// GC reports a completed garbage collection: nodes reclaimed, nodes
+	// still live, and the collection pause.
+	GC(reclaimed, live int, pause time.Duration)
+	// Reorder reports a completed reordering pass with the live-node
+	// counts before and after and the pass duration.
+	Reorder(before, after int, dur time.Duration)
+	// Abort reports that a live-node budget was exhausted; the OpAborted
+	// panic is raised immediately after this hook returns. Deadline
+	// aborts are routine under budgeted traversal and are not reported.
+	Abort(reason string)
+	// DebugFailure reports a DebugCheck invariant violation.
+	DebugFailure(err error)
+}
+
+// observer is process-wide: one observability session watches every
+// manager, which keeps wiring trivial for the cmd binaries (managers are
+// created deep inside circuit compilation).
+var observer Observer
+
+// SetObserver installs the process-wide observer (nil uninstalls). Not
+// safe for concurrent use with running BDD operations; install before
+// starting work.
+func SetObserver(o Observer) { observer = o }
+
+// CurrentObserver returns the installed observer, if any.
+func CurrentObserver() Observer { return observer }

@@ -54,7 +54,7 @@ func (m *Manager) Diff(f, g Ref) Ref { return m.andRec(f, g.Complement()) }
 // ITE returns if-then-else(f, g, h) = f·g + ¬f·h.
 func (m *Manager) ITE(f, g, h Ref) Ref {
 	m.maybeReorder()
-	return m.iteRec(f, g, h)
+	return m.iteRec(f, g, h, 1)
 }
 
 // top2 returns the minimum level among the two operands' top nodes.
@@ -155,7 +155,12 @@ func (m *Manager) xorRec(f, g Ref) Ref {
 	return r ^ out
 }
 
-func (m *Manager) iteRec(f, g, h Ref) Ref {
+// iteRec carries its recursion depth so the peak can be recorded with no
+// decrement bookkeeping; Stats.PeakITEDepth feeds the obs registry.
+func (m *Manager) iteRec(f, g, h Ref, depth int) Ref {
+	if depth > m.stats.PeakITEDepth {
+		m.stats.PeakITEDepth = depth
+	}
 	// Terminal cases.
 	switch {
 	case f == One:
@@ -220,8 +225,8 @@ func (m *Manager) iteRec(f, g, h Ref) Ref {
 	f1, f0 := m.cofs(f, lev)
 	g1, g0 := m.cofs(g, lev)
 	h1, h0 := m.cofs(h, lev)
-	t := m.iteRec(f1, g1, h1)
-	e := m.iteRec(f0, g0, h0)
+	t := m.iteRec(f1, g1, h1, depth+1)
+	e := m.iteRec(f0, g0, h0, depth+1)
 	r := m.makeNode(lev, t, e)
 	m.Deref(t)
 	m.Deref(e)

@@ -188,7 +188,7 @@ func (m *Manager) permuteRec(f Ref, perm []int, memo map[Ref]Ref) Ref {
 	e := m.permuteRec(m.Lo(f), perm, memo)
 	// The new variable may sit anywhere in the order, so compose with ITE
 	// rather than makeNode.
-	r := m.iteRec(m.vars[perm[v]], t, e)
+	r := m.iteRec(m.vars[perm[v]], t, e, 1)
 	memo[f] = r
 	return r
 }
@@ -209,7 +209,7 @@ func (m *Manager) composeRec(f Ref, lev int32, g Ref) Ref {
 	var r Ref
 	if fl == lev {
 		f1, f0 := m.cofs(f, lev)
-		r = m.iteRec(g, f1, f0)
+		r = m.iteRec(g, f1, f0, 1)
 	} else {
 		f1, f0 := m.cofs(f, fl)
 		t := m.composeRec(f1, lev, g)
@@ -217,7 +217,7 @@ func (m *Manager) composeRec(f Ref, lev int32, g Ref) Ref {
 		// The top variable of f stays in place; g may contain
 		// variables above it, in which case ITE is required.
 		v := m.vars[m.levToVar[fl]]
-		r = m.iteRec(v, t, e)
+		r = m.iteRec(v, t, e, 1)
 		m.Deref(t)
 		m.Deref(e)
 	}

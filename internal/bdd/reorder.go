@@ -1,6 +1,9 @@
 package bdd
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // Dynamic variable reordering by sifting (Rudell, ICCAD'93), built on an
 // in-place swap of adjacent levels. External Refs remain valid across
@@ -81,6 +84,8 @@ func (m *Manager) Reorder(method ReorderMethod, cfg SiftConfig) int {
 	if cfg.MaxGrowth <= 1 {
 		cfg.MaxGrowth = m.maxGrowth
 	}
+	start := time.Now()
+	before := m.liveCount
 	// Reordering must not race a garbage collection triggered by its own
 	// makeNode calls: sweep first, then forbid GC for the duration. The
 	// cache is not swept here — swapInPlace rewrites children and frees
@@ -119,6 +124,11 @@ func (m *Manager) Reorder(method ReorderMethod, cfg SiftConfig) int {
 	m.cache.invalidateAll()
 	m.stats.CacheGenerations++
 	m.stats.Reorderings++
+	dur := time.Since(start)
+	m.stats.ReorderTime += dur
+	if observer != nil {
+		observer.Reorder(before, m.liveCount, dur)
+	}
 	return m.liveCount
 }
 

@@ -1,5 +1,7 @@
 package bdd
 
+import "time"
+
 // This file implements the unique table (one subtable per variable level),
 // node allocation, and garbage collection.
 //
@@ -92,6 +94,9 @@ func (m *Manager) makeNode(level int32, hi, lo Ref) Ref {
 	st.buckets[b] = idx
 	st.count++
 	m.liveCount++
+	if m.liveCount > m.stats.PeakLive {
+		m.stats.PeakLive = m.liveCount
+	}
 	// The new live node holds references on its children.
 	m.refChild(hi)
 	m.refChild(lo)
@@ -187,6 +192,7 @@ func (m *Manager) gc(sweepCache bool) int {
 	if m.deadCount == 0 {
 		return 0
 	}
+	start := time.Now()
 	collected := 0
 	for lev := range m.subtables {
 		st := &m.subtables[lev]
@@ -213,7 +219,12 @@ func (m *Manager) gc(sweepCache bool) int {
 	if sweepCache {
 		m.cacheSweepDead()
 	}
+	pause := time.Since(start)
 	m.stats.GCs++
 	m.stats.GCNodes += int64(collected)
+	m.stats.GCTime += pause
+	if observer != nil {
+		observer.GC(collected, m.liveCount, pause)
+	}
 	return collected
 }

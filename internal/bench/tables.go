@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"time"
@@ -182,33 +183,46 @@ func Table4(fns []Fn, minNodes int) DecompResult {
 // Table 1: reachability analysis with approximate traversal.
 // ---------------------------------------------------------------------------
 
-// MethodResult is one traversal's outcome within a Table 1 row.
+// MethodResult is one traversal's outcome within a Table 1 row, including
+// the per-phase breakdown behind the timing column (serialized into the
+// BENCH_*.json snapshots by WriteTable1JSON).
 type MethodResult struct {
-	Time      time.Duration
-	Done      bool
-	States    float64 // states found (exact when Done, explored otherwise)
-	Nodes     int     // |reached| at the end
-	PeakNodes int     // manager live-node high-water mark
-	CacheHit  float64 // computed-table hit rate over the run
+	Time      time.Duration `json:"time_ns"`
+	Done      bool          `json:"done"`
+	States    float64       `json:"states"` // states found (exact when Done, explored otherwise)
+	Nodes     int           `json:"nodes"`  // |reached| at the end
+	PeakNodes int           `json:"peak_nodes"` // manager live-node high-water mark
+	CacheHit  float64       `json:"cache_hit_rate"` // computed-table hit rate over the run
+
+	// Phase breakdown: where Time went and how much work each phase did.
+	Iterations  int           `json:"iterations"`
+	Closures    int           `json:"closures,omitempty"` // exact closure checks (HD only)
+	Images      int           `json:"images"`
+	AndExists   int           `json:"and_exists"`
+	PImgCuts    int           `json:"pimg_cuts,omitempty"`
+	PeakProduct int           `json:"peak_product"`
+	ImageTime   time.Duration `json:"image_time_ns"`
+	SubsetTime  time.Duration `json:"subset_time_ns,omitempty"`
+	ClosureTime time.Duration `json:"closure_time_ns,omitempty"`
 }
 
 // Table1Row mirrors one row of the paper's Table 1, extended with the
 // exploration statistics that tell the story for budget-limited runs.
 type Table1Row struct {
-	Ckt    string
-	FF     int
-	States float64 // exact reachable states (from the best completed run)
+	Ckt    string  `json:"ckt"`
+	FF     int     `json:"ff"`
+	States float64 `json:"states"` // exact reachable states (from the best completed run)
 
-	BFS MethodResult
+	BFS MethodResult `json:"bfs"`
 
-	RUATh   int
-	RUAQual float64
-	RUAPImg string
-	RUA     MethodResult
+	RUATh   int          `json:"rua_threshold"`
+	RUAQual float64      `json:"rua_quality"`
+	RUAPImg string       `json:"rua_pimg"`
+	RUA     MethodResult `json:"rua"`
 
-	SPTh   int
-	SPPImg string
-	SP     MethodResult
+	SPTh   int          `json:"sp_threshold"`
+	SPPImg string       `json:"sp_pimg"`
+	SP     MethodResult `json:"sp"`
 }
 
 // Table1Circuit configures one row's circuit and method parameters (the
@@ -336,11 +350,20 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 
 		toMethod := func(r reach.Result) MethodResult {
 			mr := MethodResult{
-				Time:      r.Elapsed,
-				Done:      r.Completed,
-				States:    r.States,
-				Nodes:     r.Nodes,
-				PeakNodes: r.Stats.PeakLiveNodes,
+				Time:        r.Elapsed,
+				Done:        r.Completed,
+				States:      r.States,
+				Nodes:       r.Nodes,
+				PeakNodes:   r.Stats.PeakLiveNodes,
+				Iterations:  r.Iterations,
+				Closures:    r.Closure,
+				Images:      r.Stats.Images,
+				AndExists:   r.Stats.AndExists,
+				PImgCuts:    r.Stats.PImgCuts,
+				PeakProduct: r.Stats.PeakProduct,
+				ImageTime:   r.Stats.ImageTime,
+				SubsetTime:  r.Stats.SubsetTime,
+				ClosureTime: r.Stats.ClosureTime,
 			}
 			if r.Stats.CacheLookups > 0 {
 				mr.CacheHit = float64(r.Stats.CacheHits) / float64(r.Stats.CacheLookups)
@@ -400,6 +423,19 @@ func pimgLabel(p *reach.PImg) string {
 		return "NA"
 	}
 	return fmt.Sprintf("%d/%d", p.Limit, p.Threshold)
+}
+
+// WriteTable1JSON writes Table 1 rows — including each method's per-phase
+// breakdown (image/subset/closure time, relational-product counts, peak
+// intermediate product) — as indented JSON, the format of the BENCH_*.json
+// snapshots kept at the repo root.
+func WriteTable1JSON(w io.Writer, rows []Table1Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Table string      `json:"table"`
+		Rows  []Table1Row `json:"rows"`
+	}{Table: "table1", Rows: rows})
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"bddkit/internal/bdd"
+	"bddkit/internal/obs"
 )
 
 // Decomposition-point selection heuristics (Section 3, "Decomposition
@@ -26,6 +27,12 @@ func DefaultBandConfig() BandConfig { return BandConfig{Low: 0.35, High: 0.6} }
 func BandPoints(m *bdd.Manager, f bdd.Ref, cfg BandConfig) Points {
 	if cfg.High <= 0 {
 		cfg = DefaultBandConfig()
+	}
+	var sp *obs.Span
+	if obs.T.Enabled() {
+		sp = obs.T.Begin("decomp.band_points",
+			obs.Int("size", m.DagSize(f)),
+			obs.F64("low", cfg.Low), obs.F64("high", cfg.High))
 	}
 	dist := make(map[uint32]int)
 	var depth func(r bdd.Ref) int
@@ -61,6 +68,9 @@ func BandPoints(m *bdd.Manager, f bdd.Ref, cfg BandConfig) Points {
 			pts[id] = true
 		}
 	}
+	if sp != nil {
+		sp.End(obs.Int("points", len(pts)), obs.Int("root_depth", rootD))
+	}
 	return pts
 }
 
@@ -95,6 +105,12 @@ func DisjointPoints(m *bdd.Manager, f bdd.Ref, cfg DisjointConfig) Points {
 		cfg = DefaultDisjointConfig()
 	}
 	total := m.DagSize(f)
+	var sp *obs.Span
+	if obs.T.Enabled() {
+		sp = obs.T.Begin("decomp.disjoint_points",
+			obs.Int("size", total),
+			obs.Int("max_candidates", cfg.MaxCandidates))
+	}
 	// Sample nodes breadth-first so cuts land in the upper-middle of the
 	// BDD, where they split real mass.
 	var order []bdd.Ref
@@ -166,6 +182,9 @@ func DisjointPoints(m *bdd.Manager, f bdd.Ref, cfg DisjointConfig) Points {
 			break
 		}
 		pts[best[i].id] = true
+	}
+	if sp != nil {
+		sp.End(obs.Int("points", len(pts)), obs.Int("sampled", sampled))
 	}
 	return pts
 }

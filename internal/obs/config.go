@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bddkit/internal/bdd"
+)
+
+// Config carries the observability flags shared by every cmd binary:
+//
+//	-trace FILE    structured JSONL span trace ("-" = stderr)
+//	-metrics       print a metrics-registry snapshot to stderr on exit
+//	-obs ADDR      live endpoint serving pprof, expvar, /metrics, /flight
+//
+// Any one of them arms the flight recorder, so a panic or node-budget
+// exhaustion dumps the recent trace events to stderr.
+type Config struct {
+	Trace      string
+	Metrics    bool
+	Addr       string
+	FlightSize int // ring capacity in events (0 = DefaultFlightSize)
+}
+
+// AddFlags registers the three observability flags on fs.
+func (c *Config) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Trace, "trace", "", "write a JSONL span trace to this `file` (\"-\" = stderr)")
+	fs.BoolVar(&c.Metrics, "metrics", false, "print a metrics-registry snapshot to stderr on exit")
+	fs.StringVar(&c.Addr, "obs", "", "serve pprof/expvar/metrics on this `address` (e.g. :6060)")
+}
+
+// Enabled reports whether any observability feature was requested.
+func (c *Config) Enabled() bool {
+	return c.Trace != "" || c.Metrics || c.Addr != ""
+}
+
+// Session is a started observability configuration: the metrics registry,
+// the armed global tracer, the flight recorder, and (optionally) the live
+// HTTP endpoint. It also installs itself as the process-wide bdd.Observer
+// so GC pauses, reorder durations, budget aborts, and invariant failures
+// flow into the registry, the trace, and the flight recorder.
+type Session struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Flight   *FlightRecorder
+	// BoundAddr is the live endpoint's actual listen address (useful when
+	// -obs requested port 0).
+	BoundAddr string
+
+	cfg       Config
+	traceFile *os.File
+	stopHTTP  func()
+
+	gcPause    *Histogram
+	gcCount    *Counter
+	gcNodes    *Counter
+	reorderDur *Histogram
+	reorders   *Counter
+	aborts     *Counter
+	debugFails *Counter
+}
+
+// Start arms the observability layer described by c. With no flags set it
+// returns a Session whose tracer stays disabled, so callers can wire it
+// unconditionally. The session configures the process-global tracer T;
+// call Close when done.
+func (c Config) Start() (*Session, error) {
+	s := &Session{
+		Registry: NewRegistry(),
+		Tracer:   T,
+		cfg:      c,
+	}
+	if !c.Enabled() {
+		return s, nil
+	}
+	s.Flight = NewFlightRecorder(c.FlightSize)
+	T.SetFlight(s.Flight)
+	switch c.Trace {
+	case "":
+	case "-":
+		T.SetSink(os.Stderr)
+	default:
+		f, err := os.Create(c.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -trace: %w", err)
+		}
+		s.traceFile = f
+		T.SetSink(f)
+	}
+
+	s.gcPause = s.Registry.Histogram("bdd_gc_pause_ns")
+	s.gcCount = s.Registry.Counter("bdd_gc_total")
+	s.gcNodes = s.Registry.Counter("bdd_gc_reclaimed_nodes")
+	s.reorderDur = s.Registry.Histogram("bdd_reorder_ns")
+	s.reorders = s.Registry.Counter("bdd_reorder_total")
+	s.aborts = s.Registry.Counter("bdd_budget_aborts_total")
+	s.debugFails = s.Registry.Counter("bdd_debug_failures_total")
+	bdd.SetObserver(s)
+
+	if c.Addr != "" {
+		stop, err := s.serve(c.Addr)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.stopHTTP = stop
+	}
+	return s, nil
+}
+
+// MustStart is Start for cmd mains: flag errors exit(2).
+func (c Config) MustStart() *Session {
+	s, err := c.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return s
+}
+
+// ObserveManager registers snapshot-time gauges over a live BDD manager:
+// live/dead/peak node counts, cache geometry and hit rate, unique-table
+// traffic, GC and reorder totals, and the peak ITE recursion depth. The
+// gauges read the manager without synchronization, so values served while
+// the manager is mutating are advisory. It also points the tracer's
+// node-delta attribution at this manager.
+func (s *Session) ObserveManager(m *bdd.Manager) {
+	r := s.Registry
+	r.GaugeFunc("bdd_live_nodes", func() float64 { return float64(m.NodeCount()) })
+	r.GaugeFunc("bdd_dead_nodes", func() float64 { return float64(m.DeadCount()) })
+	r.GaugeFunc("bdd_peak_live_nodes", func() float64 { return float64(m.Stats().PeakLive) })
+	r.GaugeFunc("bdd_peak_ite_depth", func() float64 { return float64(m.Stats().PeakITEDepth) })
+	r.GaugeFunc("bdd_gc_time_ns", func() float64 { return float64(m.Stats().GCTime) })
+	r.GaugeFunc("bdd_reorder_time_ns", func() float64 { return float64(m.Stats().ReorderTime) })
+	r.GaugeFunc("bdd_reorderings", func() float64 { return float64(m.Stats().Reorderings) })
+	r.GaugeFunc("bdd_cache_lookups", func() float64 { return float64(m.Stats().CacheLookups) })
+	r.GaugeFunc("bdd_cache_hits", func() float64 { return float64(m.Stats().CacheHits) })
+	r.GaugeFunc("bdd_cache_hit_rate", func() float64 { return m.CacheStats().HitRate })
+	r.GaugeFunc("bdd_cache_entries", func() float64 { return float64(m.CacheStats().Entries) })
+	r.GaugeFunc("bdd_cache_evictions", func() float64 { return float64(m.Stats().CacheEvictions) })
+	r.GaugeFunc("bdd_cache_resizes", func() float64 { return float64(m.Stats().CacheResizes) })
+	r.GaugeFunc("bdd_unique_lookups", func() float64 { return float64(m.Stats().UniqueLookups) })
+	r.GaugeFunc("bdd_unique_hits", func() float64 { return float64(m.Stats().UniqueHits) })
+	r.GaugeFunc("bdd_unique_grows", func() float64 { return float64(m.Stats().UniqueGrows) })
+	if s.Tracer != nil {
+		s.Tracer.LiveNodes = m.NodeCount
+	}
+}
+
+// Close flushes the trace sink, stops the HTTP endpoint, uninstalls the
+// bdd observer, and prints the metrics snapshot when -metrics was given.
+func (s *Session) Close() {
+	if s == nil {
+		return
+	}
+	if bdd.CurrentObserver() == bdd.Observer(s) {
+		bdd.SetObserver(nil)
+	}
+	if s.stopHTTP != nil {
+		s.stopHTTP()
+		s.stopHTTP = nil
+	}
+	if s.Tracer != nil {
+		if err := s.Tracer.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "obs: trace write error:", err)
+		}
+		s.Tracer.SetSink(nil)
+		s.Tracer.SetFlight(nil)
+		s.Tracer.LiveNodes = nil
+	}
+	if s.traceFile != nil {
+		s.traceFile.Close()
+		s.traceFile = nil
+	}
+	if s.cfg.Metrics {
+		fmt.Fprintln(os.Stderr, "--- metrics snapshot ---")
+		s.Registry.WriteText(os.Stderr)
+	}
+}
+
+// DumpOnPanic re-raises a panic after dumping the flight recorder; defer
+// it first thing in a cmd main:
+//
+//	defer sess.DumpOnPanic()
+func (s *Session) DumpOnPanic() {
+	if r := recover(); r != nil {
+		if s != nil && s.Flight != nil {
+			s.Flight.Dump(os.Stderr, fmt.Sprintf("panic: %v", r))
+		}
+		panic(r)
+	}
+}
+
+// bdd.Observer implementation -------------------------------------------
+
+// GC records a garbage collection in the registry, the trace, and the
+// flight recorder.
+func (s *Session) GC(reclaimed, live int, pause time.Duration) {
+	s.gcPause.Observe(pause.Nanoseconds())
+	s.gcCount.Inc()
+	s.gcNodes.Add(int64(reclaimed))
+	s.Tracer.Event("bdd.gc",
+		Int("reclaimed", reclaimed), Int("live", live), Dur("pause_ns", pause))
+}
+
+// Reorder records a reordering pass.
+func (s *Session) Reorder(before, after int, dur time.Duration) {
+	s.reorderDur.Observe(dur.Nanoseconds())
+	s.reorders.Inc()
+	s.Tracer.Event("bdd.reorder",
+		Int("nodes_before", before), Int("nodes_after", after), Dur("dur_ns", dur))
+}
+
+// Abort dumps the flight recorder: node-budget exhaustion is exactly the
+// moment the recent trace history explains what grew.
+func (s *Session) Abort(reason string) {
+	s.aborts.Inc()
+	s.Tracer.Event("bdd.abort", Str("reason", reason))
+	if s.Flight != nil {
+		s.Flight.Dump(os.Stderr, "node budget exhausted: "+reason)
+	}
+}
+
+// DebugFailure dumps the flight recorder on an invariant violation.
+func (s *Session) DebugFailure(err error) {
+	s.debugFails.Inc()
+	s.Tracer.Event("bdd.debug_failure", Str("error", err.Error()))
+	if s.Flight != nil {
+		s.Flight.Dump(os.Stderr, "DebugCheck failure: "+err.Error())
+	}
+}
+
+var _ bdd.Observer = (*Session)(nil)

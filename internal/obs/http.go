@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Live profiling endpoint: -obs :6060 serves
+//
+//	/debug/pprof/...   net/http/pprof (CPU, heap, goroutine, trace, ...)
+//	/debug/vars        expvar, including the registry under "bddkit"
+//	/metrics           plaintext registry snapshot (sorted name value)
+//	/flight            current flight-recorder contents as JSONL
+//	/                  an index of the above
+//
+// The endpoint is a debug surface: snapshots read live counters without
+// synchronization and are advisory while the engines are running.
+
+// expvar.Publish panics on duplicate names, and tests may start several
+// sessions in one process, so the "bddkit" var is published once and
+// re-pointed at the current session's registry.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("bddkit", expvar.Func(func() any {
+			if reg := expvarReg.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// serve starts the endpoint on addr and returns a shutdown function.
+func (s *Session) serve(addr string) (func(), error) {
+	publishExpvar(s.Registry)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.Registry.WriteText(w)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if s.Flight != nil {
+			s.Flight.WriteTo(w) //nolint:errcheck // client went away
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "bddkit observability endpoint\n\n"+
+			"  /metrics      plaintext metrics snapshot\n"+
+			"  /debug/vars   expvar JSON (registry under \"bddkit\")\n"+
+			"  /debug/pprof  live profiling\n"+
+			"  /flight       flight-recorder contents (JSONL)\n")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: -obs %s: %w", addr, err)
+	}
+	s.BoundAddr = ln.Addr().String()
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // closed by the shutdown func
+	return func() { srv.Close() }, nil
+}

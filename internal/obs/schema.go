@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// JSONL schema validation for trace files, shared by the obs tests and the
+// obscheck tool behind `make obs-smoke`.
+
+// TraceSummary reports what a validated trace contains.
+type TraceSummary struct {
+	Lines  int            // total event lines
+	Spans  int            // kind == "span"
+	Events int            // kind == "event"
+	ByName map[string]int // per-name emission counts
+}
+
+// ValidateJSONL reads a JSONL trace and verifies the schema of every line:
+// valid JSON; ts parses as RFC3339Nano; kind is "span" or "event"; name is
+// non-empty; ids are positive and unique; parents refer to already-seen
+// ids (spans are emitted at End, so a parent precedes its children's End
+// records only when it closed first — parents may therefore also appear
+// later, and only self-parenting is rejected); spans carry a non-negative
+// duration. It returns a summary or the first violation, tagged with its
+// line number.
+func ValidateJSONL(r io.Reader) (TraceSummary, error) {
+	sum := TraceSummary{ByName: make(map[string]int)}
+	seen := make(map[uint64]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		sum.Lines++
+		line := sc.Bytes()
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return sum, fmt.Errorf("line %d: invalid JSON: %v", sum.Lines, err)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, ev.TS); err != nil {
+			return sum, fmt.Errorf("line %d: bad ts %q: %v", sum.Lines, ev.TS, err)
+		}
+		switch ev.Kind {
+		case "span":
+			sum.Spans++
+			if ev.DurNS < 0 {
+				return sum, fmt.Errorf("line %d: span %q has negative dur_ns %d", sum.Lines, ev.Name, ev.DurNS)
+			}
+		case "event":
+			sum.Events++
+		default:
+			return sum, fmt.Errorf("line %d: unknown kind %q", sum.Lines, ev.Kind)
+		}
+		if ev.Name == "" {
+			return sum, fmt.Errorf("line %d: empty name", sum.Lines)
+		}
+		if ev.ID == 0 {
+			return sum, fmt.Errorf("line %d: missing id", sum.Lines)
+		}
+		if seen[ev.ID] {
+			return sum, fmt.Errorf("line %d: duplicate id %d", sum.Lines, ev.ID)
+		}
+		if ev.Parent == ev.ID {
+			return sum, fmt.Errorf("line %d: event %d is its own parent", sum.Lines, ev.ID)
+		}
+		seen[ev.ID] = true
+		sum.ByName[ev.Name]++
+	}
+	if err := sc.Err(); err != nil {
+		return sum, err
+	}
+	return sum, nil
+}

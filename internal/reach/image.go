@@ -5,6 +5,7 @@ import (
 
 	"bddkit/internal/approx"
 	"bddkit/internal/bdd"
+	"bddkit/internal/obs"
 )
 
 // Subsetter extracts a dense subset of a BDD; the paper's Table 1 plugs
@@ -57,11 +58,31 @@ type ImageStats struct {
 	CacheLookups int64 // computed-table probes
 	CacheHits    int64 // computed-table hits
 
+	// Per-phase wall-time breakdown of the traversal, accumulated by the
+	// traversal loops and Image: where a Table 1 timing column actually
+	// went.
+	ImageTime   time.Duration // inside Image (clusters + partial-image cuts)
+	SubsetTime  time.Duration // inside frontier subsetting (HD only)
+	ClosureTime time.Duration // inside exact closure checks (HD only)
+
+	// Tracer receives structured span/event output for this run; nil falls
+	// back to the process-global obs.T (which is itself disabled unless an
+	// obs session armed it).
+	Tracer *obs.Tracer
+
 	// Deadline, when non-zero, aborts image computation between cluster
 	// conjunctions (set by the traversals from Options.Budget; an
 	// in-flight relational product cannot be interrupted, so some
 	// overshoot remains possible).
 	Deadline time.Time
+}
+
+// tracer returns the run's tracer, defaulting to the process-global one.
+func (st *ImageStats) tracer() *obs.Tracer {
+	if st.Tracer != nil {
+		return st.Tracer
+	}
+	return obs.T
 }
 
 // Image computes the set of successors of from (a predicate over the
@@ -74,15 +95,28 @@ type ImageStats struct {
 // st.Aborted is set, which the traversal loops treat as "budget over".
 func (tr *TR) Image(from bdd.Ref, pimg *PImg, st *ImageStats) (res bdd.Ref) {
 	m := tr.M
+	t := st.tracer()
+	start := time.Now()
+	var sp *obs.Span
+	if t.Enabled() {
+		sp = t.Begin("reach.image",
+			obs.Int("from_nodes", m.DagSize(from)),
+			obs.Int("clusters", len(tr.Clusters)),
+			obs.Bool("pimg", pimg != nil))
+	}
 	defer func() {
+		st.ImageTime += time.Since(start)
 		if r := recover(); r != nil {
 			if _, ok := r.(bdd.OpAborted); ok {
 				st.Aborted = true
 				res = m.Ref(bdd.Zero)
+				sp.End(obs.Bool("aborted", true))
 				return
 			}
 			panic(r)
 		}
+		sp.End(obs.Bool("aborted", st.Aborted),
+			obs.Int("peak_product", st.PeakProduct))
 	}()
 	st.Images++
 	cur := m.ExistsCube(from, tr.PreCube)
@@ -105,6 +139,13 @@ func (tr *TR) Image(from bdd.Ref, pimg *PImg, st *ImageStats) (res bdd.Ref) {
 				m.Deref(cur)
 				cur = sub
 				st.PImgCuts++
+				if t.Enabled() {
+					t.Event("reach.pimg_cut",
+						obs.Int("cluster", k),
+						obs.Int("product_nodes", sz),
+						obs.Int("threshold", pimg.Threshold),
+						obs.Int("result_nodes", m.DagSize(cur)))
+				}
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
+	"bddkit/internal/obs"
 )
 
 // TR is a clustered conjunctive transition relation with a quantification
@@ -63,6 +64,9 @@ func NewTR(c *circuit.Compiled, opts TROptions) (*TR, error) {
 		NextVars:  c.NextVars,
 		InputVars: c.InputVars,
 	}
+	csp := obs.T.Begin("reach.cluster",
+		obs.Int("latches", len(c.Next)),
+		obs.Int("cluster_size", opts.ClusterSize))
 	// Bit relations in latch order; the interleaved variable order makes
 	// neighboring latches likely to share support, which is what greedy
 	// clustering exploits.
@@ -93,8 +97,11 @@ func NewTR(c *circuit.Compiled, opts TROptions) (*TR, error) {
 	}
 	flush()
 	m.Deref(cluster)
+	csp.End(obs.Int("clusters", len(tr.Clusters)))
 
+	ssp := obs.T.Begin("reach.schedule", obs.Int("clusters", len(tr.Clusters)))
 	tr.buildSchedule()
+	ssp.End()
 	tr.n2s = make([]int, m.NumVars())
 	tr.s2n = make([]int, m.NumVars())
 	for v := range tr.n2s {

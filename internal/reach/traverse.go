@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"bddkit/internal/bdd"
+	"bddkit/internal/obs"
 )
 
 // Options selects and parameterizes a traversal.
@@ -23,6 +24,9 @@ type Options struct {
 	// (0 = unbounded). An aborted traversal reports Completed = false
 	// and returns the states found so far.
 	Budget time.Duration
+	// Tracer receives structured spans and events for this run; nil falls
+	// back to the process-global obs.T.
+	Tracer *obs.Tracer
 }
 
 // Result reports a completed traversal.
@@ -42,7 +46,8 @@ type Result struct {
 func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 	start := time.Now()
 	m := tr.M
-	var st ImageStats
+	st := ImageStats{Tracer: opts.Tracer}
+	t := st.tracer()
 	if opts.Budget > 0 {
 		st.Deadline = start.Add(opts.Budget)
 		m.SetDeadline(st.Deadline)
@@ -73,10 +78,12 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 	frontier := m.Ref(init)
 	for {
 		iters++
+		isp := tr.beginIteration(t, "bfs", iters, frontier)
 		img := tr.Image(frontier, nil, &st)
 		m.Deref(frontier)
 		if st.Aborted {
 			m.Deref(img)
+			isp.End(obs.Bool("aborted", true))
 			break
 		}
 		fresh := m.Diff(img, reached)
@@ -84,12 +91,14 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 		if fresh == bdd.Zero {
 			m.Deref(fresh)
 			completed = true
+			isp.End(obs.Int("fresh_nodes", 0), obs.Bool("fixpoint", true))
 			break
 		}
 		nr := m.Or(reached, fresh)
 		m.Deref(reached)
 		reached = nr
 		frontier = fresh
+		tr.endIteration(isp, fresh, reached)
 		if overBudget(start, iters, opts) {
 			m.Deref(frontier)
 			break
@@ -107,6 +116,44 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 	}
 }
 
+// beginIteration opens the per-iteration span (nil when tracing is off);
+// the size/density attribute computation is gated on the tracer so the
+// disabled path costs nothing.
+func (tr *TR) beginIteration(t *obs.Tracer, mode string, iter int, frontier bdd.Ref) *obs.Span {
+	if !t.Enabled() {
+		return nil
+	}
+	fn := tr.M.DagSize(frontier)
+	return t.Begin("reach.iteration",
+		obs.Str("mode", mode),
+		obs.Int("iter", iter),
+		obs.Int("frontier_nodes", fn),
+		obs.F64("frontier_density", tr.density(frontier, fn)))
+}
+
+// endIteration closes a per-iteration span with the sizes and densities of
+// the new states and the accumulated reached set.
+func (tr *TR) endIteration(sp *obs.Span, fresh, reached bdd.Ref) {
+	if sp == nil {
+		return
+	}
+	m := tr.M
+	fn, rn := m.DagSize(fresh), m.DagSize(reached)
+	sp.End(
+		obs.Int("fresh_nodes", fn),
+		obs.F64("fresh_density", tr.density(fresh, fn)),
+		obs.Int("reached_nodes", rn),
+		obs.F64("reached_density", tr.density(reached, rn)))
+}
+
+// density is the paper's quality measure: states per node.
+func (tr *TR) density(f bdd.Ref, nodes int) float64 {
+	if nodes == 0 {
+		return 0
+	}
+	return tr.StateCount(f) / float64(nodes)
+}
+
 // HighDensity computes the exact reachable states using the high-density
 // traversal of Ravi–Somenzi (ICCAD'95) as configured for the paper's
 // Table 1: each iteration feeds image computation a dense subset of the
@@ -120,7 +167,8 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 	if opts.Subset == nil {
 		opts.Subset = RUASubsetter(1.0)
 	}
-	var st ImageStats
+	st := ImageStats{Tracer: opts.Tracer}
+	t := st.tracer()
 	if opts.Budget > 0 {
 		st.Deadline = start.Add(opts.Budget)
 		m.SetDeadline(st.Deadline)
@@ -150,10 +198,12 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 	frontier := m.Ref(init) // dense subset of the unexplored states
 	for {
 		iters++
+		isp := tr.beginIteration(t, "hd", iters, frontier)
 		img := tr.Image(frontier, opts.PImg, &st)
 		m.Deref(frontier)
 		if st.Aborted {
 			m.Deref(img)
+			isp.End(obs.Bool("aborted", true))
 			break
 		}
 		fresh := m.Diff(img, reached)
@@ -163,23 +213,46 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 			// with an exact image of the full reached set.
 			m.Deref(fresh)
 			closures++
+			cstart := time.Now()
+			var csp *obs.Span
+			if t.Enabled() {
+				csp = t.Begin("reach.closure",
+					obs.Int("closure", closures),
+					obs.Int("reached_nodes", m.DagSize(reached)))
+			}
 			img := tr.Image(reached, nil, &st)
 			if st.Aborted {
 				m.Deref(img)
+				st.ClosureTime += time.Since(cstart)
+				csp.End(obs.Bool("aborted", true))
+				isp.End(obs.Bool("aborted", true))
 				break
 			}
 			fresh = m.Diff(img, reached)
 			m.Deref(img)
-			if fresh == bdd.Zero {
+			st.ClosureTime += time.Since(cstart)
+			closed := fresh == bdd.Zero
+			csp.End(obs.Bool("closed", closed))
+			if closed {
 				m.Deref(fresh)
 				completed = true
+				isp.End(obs.Int("fresh_nodes", 0), obs.Bool("fixpoint", true))
 				break
 			}
 		}
 		nr := m.Or(reached, fresh)
 		m.Deref(reached)
 		reached = nr
+		sstart := time.Now()
 		frontier = opts.Subset(m, fresh, opts.Threshold)
+		st.SubsetTime += time.Since(sstart)
+		if t.Enabled() {
+			t.Event("reach.subset",
+				obs.Int("frontier_before", m.DagSize(fresh)),
+				obs.Int("threshold", opts.Threshold),
+				obs.Int("frontier_after", m.DagSize(frontier)))
+		}
+		tr.endIteration(isp, fresh, reached)
 		m.Deref(fresh)
 		if overBudget(start, iters, opts) {
 			m.Deref(frontier)

@@ -1,9 +1,13 @@
 GO ?= go
+BENCH_HISTORY ?= BENCH_reach.json
 
-.PHONY: check test vet build race bench obs-smoke
+.PHONY: check test vet build race bench bench-save bench-cmp obs-smoke profile-smoke
 
-## check: vet, build, test everything, then race-test the BDD core.
-check: vet build test race
+## check: vet, build, test everything, race-test the BDD core, then smoke
+## the observability layer end to end (trace schema + required spans,
+## structural profiler, benchmark trajectory in advisory mode).
+check: vet build test race obs-smoke profile-smoke
+	$(GO) run ./cmd/tables -bench-cmp $(BENCH_HISTORY) -bench-advisory
 
 ## vet: static analysis plus race-testing the packages with lock-free fast
 ## paths (the obs registry/tracer and the BDD core).
@@ -34,11 +38,31 @@ bench:
 	  END { print "\n]" }' BENCH_cache.txt > BENCH_cache.json
 	@echo "wrote BENCH_cache.txt and BENCH_cache.json"
 
+## bench-save: run Table 1 (small scale) and append a schema-versioned
+## record to the benchmark trajectory file. Run twice (or on two commits)
+## and `make bench-cmp` diffs the latest pair.
+bench-save:
+	$(GO) run ./cmd/tables -table 1 -bench-save $(BENCH_HISTORY) >/dev/null
+
+## bench-cmp: compare the two most recent trajectory records; fails on a
+## >15% wall-time or >25% peak-node regression (beyond absolute floors).
+bench-cmp:
+	$(GO) run ./cmd/tables -bench-cmp $(BENCH_HISTORY)
+
 ## obs-smoke: end-to-end check of the observability layer — run a real
-## traversal with -trace and validate the JSONL schema and span coverage.
+## traversal with -trace and per-iteration profiles, validate the JSONL
+## schema and span coverage, and render the traceview rollup.
 obs-smoke:
 	$(GO) run ./cmd/reach -in testdata/counter.net -method hd-rua -threshold 20 \
-		-budget 30s -trace /tmp/bddkit-obs-smoke.jsonl >/dev/null
-	$(GO) run ./cmd/obscheck \
-		-require reach.cluster,reach.iteration,reach.image,reach.subset,approx.rua \
+		-budget 30s -profile -trace /tmp/bddkit-obs-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/obscheck -quiet \
+		-require reach.cluster,reach.iteration,reach.image,reach.subset,reach.profile,approx.rua \
 		/tmp/bddkit-obs-smoke.jsonl
+	$(GO) run ./cmd/traceview summary /tmp/bddkit-obs-smoke.jsonl | head -20
+
+## profile-smoke: exercise the structural profiler — forest profile with
+## the live-node cross-check, plus a single-output profile after RUA.
+profile-smoke:
+	$(GO) run ./cmd/bddlab -in testdata/counter.net -profile text | tail -3
+	$(GO) run ./cmd/bddlab -in testdata/counter.net -out tc -approx rua -profile text >/dev/null
+	@echo "profile-smoke OK"

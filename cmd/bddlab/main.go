@@ -24,6 +24,7 @@ import (
 	"bddkit/internal/circuit"
 	"bddkit/internal/decomp"
 	"bddkit/internal/obs"
+	"bddkit/internal/prof"
 )
 
 // sess is the observability session, started from the -trace/-metrics/-obs
@@ -39,6 +40,7 @@ func main() {
 	doDecomp := flag.String("decomp", "", "decomposition: cofactor, band, disjoint, mcmillan")
 	dot := flag.String("dot", "", "write the (approximated) BDD in Graphviz format to this file")
 	save := flag.String("save", "", "persist the (approximated) BDD to this file (bddkit-bdd format)")
+	profile := flag.String("profile", "", "print a structural profile: text or json (with -out: of that BDD after -approx; without: of every live root)")
 	static := flag.Bool("static", false, "compile with the DFS static variable order")
 	cacheBits := flag.Uint("cache-bits", 0, "initial computed-table size = 1<<bits (0 = default)")
 	cacheMaxBits := flag.Uint("cache-max-bits", 0, "adaptive computed-table growth ceiling = 1<<bits (0 = default)")
@@ -95,9 +97,24 @@ func main() {
 			label, m.DagSize(g), m.CountMinterm(g, m.NumVars()), approx.Density(m, g))
 	}
 
+	if *profile != "" && *profile != "text" && *profile != "json" {
+		fatal(fmt.Errorf("unknown -profile mode %q (want text or json)", *profile))
+	}
+
 	if *out == "" {
 		for i, g := range c.Outputs {
 			report(nl.OutName[i], g)
+		}
+		if *profile != "" {
+			// Profile the forest of every live root and cross-check it
+			// against the manager's own live-node accounting.
+			m.GarbageCollect() // drop compile intermediates so live == referenced
+			p := prof.Compute(m, c.LiveRoots(), prof.Options{PathHist: false})
+			if err := writeProfile(p, *profile); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("profile covers %d nodes; manager accounts %d live\n",
+				p.TotalNodes(), m.NodeCount())
 		}
 		return
 	}
@@ -164,6 +181,18 @@ func main() {
 		}
 	}
 
+	// nodeProfile is the single-root profile of the (possibly approximated)
+	// target; computed once and shared by -profile output and -dot coloring.
+	var nodeProfile *prof.Profile
+	if *profile != "" || *dot != "" {
+		nodeProfile = prof.For(m, result)
+	}
+	if *profile != "" {
+		if err := writeProfile(nodeProfile, *profile); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *save != "" {
 		w, err := os.Create(*save)
 		if err != nil {
@@ -181,12 +210,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := m.DumpDot(w, []string{*out}, []bdd.Ref{result}); err != nil {
+		dopts := bdd.DotOptions{NodeColor: nodeProfile.DotColor}
+		if err := m.DumpDotStyled(w, []string{*out}, []bdd.Ref{result}, dopts); err != nil {
 			fatal(err)
 		}
 		w.Close()
 		fmt.Printf("wrote %s\n", *dot)
 	}
+}
+
+func writeProfile(p *prof.Profile, mode string) error {
+	if mode == "json" {
+		return p.WriteJSON(os.Stdout)
+	}
+	p.WriteText(os.Stdout)
+	return nil
 }
 
 func reportPair(m *bdd.Manager, p decomp.Pair) {

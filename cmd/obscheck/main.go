@@ -1,18 +1,21 @@
 // Command obscheck validates a JSONL trace file produced by the -trace
 // flag of the other commands: every line must be a well-formed span or
 // event record (see internal/obs). It prints a one-line summary and exits
-// nonzero on the first malformed line, which makes it usable as a smoke
-// check in CI (see `make obs-smoke`).
+// nonzero on the first malformed line (reported with its 1-based line
+// number), which makes it usable as a smoke check in CI (see
+// `make obs-smoke` and `make check`).
 //
 // Usage:
 //
 //	obscheck trace.jsonl
 //	obscheck -require reach.iteration trace.jsonl
+//	reach -model counter -trace /dev/stdout | obscheck -quiet -
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -22,20 +25,31 @@ import (
 
 func main() {
 	require := flag.String("require", "", "comma-separated span/event names that must appear at least once")
+	quiet := flag.Bool("quiet", false, "print only the summary line, not the per-name breakdown")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: %s [-require name,...] trace.jsonl\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-quiet] [-require name,...] trace.jsonl|-\n", os.Args[0])
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "obscheck:", err)
-		os.Exit(1)
+	path := flag.Arg(0)
+	var r io.Reader
+	if path == "-" {
+		path = "<stdin>"
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
 	}
-	defer f.Close()
-	sum, err := obs.ValidateJSONL(f)
+	sum, err := obs.ValidateJSONL(r)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		// ValidateJSONL errors carry the 1-based line number of the first
+		// malformed record; prefix the file so multi-file runs stay readable.
+		fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
 		os.Exit(1)
 	}
 	if *require != "" {
@@ -48,17 +62,20 @@ func main() {
 		}
 		if len(missing) > 0 {
 			fmt.Fprintf(os.Stderr, "obscheck: %s: missing required records: %s\n",
-				flag.Arg(0), strings.Join(missing, ", "))
+				path, strings.Join(missing, ", "))
 			os.Exit(1)
 		}
+	}
+	fmt.Printf("%s: %d lines OK (%d spans, %d events)\n",
+		path, sum.Lines, sum.Spans, sum.Events)
+	if *quiet {
+		return
 	}
 	names := make([]string, 0, len(sum.ByName))
 	for n := range sum.ByName {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Printf("%s: %d lines OK (%d spans, %d events)\n",
-		flag.Arg(0), sum.Lines, sum.Spans, sum.Events)
 	for _, n := range names {
 		fmt.Printf("  %-24s %d\n", n, sum.ByName[n])
 	}

@@ -36,6 +36,7 @@ func run() int {
 	budget := flag.Duration("budget", 5*time.Minute, "wall-clock budget")
 	cluster := flag.Int("cluster", 2500, "transition-relation cluster threshold")
 	stats := flag.Bool("stats", false, "print computed-cache and unique-table statistics after a successful run (stderr)")
+	profile := flag.Bool("profile", false, "emit per-iteration frontier/reached structural profiles as reach.profile trace events (needs -trace)")
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -81,7 +82,7 @@ func run() int {
 	}
 	fmt.Printf("transition relation: %d clusters\n", len(tr.Clusters))
 
-	opts := reach.Options{Threshold: *threshold, Budget: *budget}
+	opts := reach.Options{Threshold: *threshold, Budget: *budget, Profile: *profile}
 	if *pimgLimit > 0 && sub != nil {
 		opts.PImg = &reach.PImg{Limit: *pimgLimit, Threshold: *pimgTh, Subset: sub}
 	}

@@ -6,6 +6,12 @@
 //	tables -table 2 -paper       # Table 2 on the paper-scale corpus
 //	tables -table 1 -budget 60s  # Table 1 with a custom per-run budget
 //
+// The benchmark trajectory lives in BENCH_reach.json: `tables -table 1
+// -bench-save BENCH_reach.json` appends a record after a run, and `tables
+// -bench-cmp BENCH_reach.json` diffs the two most recent records, exiting
+// nonzero when wall time or peak live nodes regressed beyond tolerance
+// (see internal/bench/history.go and `make bench-save` / `make bench-cmp`).
+//
 // See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
 
@@ -25,14 +31,25 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper-scale corpus and circuits (slower)")
 	budget := flag.Duration("budget", 2*time.Minute, "per-traversal budget for Table 1")
 	jsonOut := flag.String("json", "", "also write Table 1 rows with per-phase breakdowns as JSON to this `file` (\"-\" = stdout)")
+	benchSave := flag.String("bench-save", "", "append this run's Table 1 rows to the benchmark history `file` (see `make bench-save`)")
+	benchCmp := flag.String("bench-cmp", "", "compare the two most recent records of the benchmark history `file` and exit (no tables are run)")
+	benchAdvisory := flag.Bool("bench-advisory", false, "with -bench-cmp: report regressions but exit 0")
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *benchCmp != "" {
+		os.Exit(runBenchCmp(*benchCmp, *benchAdvisory))
+	}
 
 	switch *table {
 	case "1", "2", "3", "4", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	if *benchSave != "" && *table != "1" && *table != "all" {
+		fmt.Fprintln(os.Stderr, "-bench-save records Table 1 rows; use -table 1 (or all)")
 		os.Exit(2)
 	}
 	sess := ocfg.MustStart()
@@ -71,6 +88,18 @@ func main() {
 		fmt.Println("Table 1: Reachability analysis results using BDD approximations.")
 		bench.PrintTable1(os.Stdout, rows)
 		fmt.Println()
+		if *benchSave != "" {
+			suite := "table1-small"
+			if *paper {
+				suite = "table1-paper"
+			}
+			rec := bench.HistoryRecord{Suite: suite, Rows: rows}
+			if err := bench.AppendHistory(*benchSave, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "bench-save: appended %s record to %s\n", suite, *benchSave)
+		}
 		if *jsonOut != "" {
 			w := os.Stdout
 			if *jsonOut != "-" {
@@ -127,4 +156,29 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runBenchCmp implements -bench-cmp: compare the two most recent history
+// records and report regressions. Advisory mode always exits 0 so CI can
+// surface drift without failing on noisy machines.
+func runBenchCmp(path string, advisory bool) int {
+	h, err := bench.LoadHistory(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	prev, cur, ok := h.Latest2()
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench-cmp: %s holds %d record(s); need 2 (run `make bench-save` twice)\n",
+			path, len(h.Records))
+		if advisory {
+			return 0
+		}
+		return 1
+	}
+	n := bench.WriteComparison(os.Stdout, prev, cur)
+	if n > 0 && !advisory {
+		return 1
+	}
+	return 0
 }

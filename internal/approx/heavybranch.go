@@ -58,7 +58,8 @@ func HeavyBranch(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 		r = nr
 	}
 	if sp != nil {
-		sp.End(obs.Int("size_out", m.DagSize(r)))
+		sp.End(obs.Int("size_out", m.DagSize(r)),
+			obs.Str("level_deltas", levelDeltas(m, f, r)))
 	}
 	return r
 }

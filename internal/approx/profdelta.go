@@ -1,0 +1,17 @@
+package approx
+
+import (
+	"bddkit/internal/bdd"
+	"bddkit/internal/prof"
+)
+
+// levelDeltas renders the per-level width changes an approximation caused,
+// as the compact signed "level:±nodes" list of prof.TopDeltas — the
+// attribution attached to approx.rua/hb/sp spans so a trace explains where
+// each subsetting decision cut the diagram. Only called when tracing is
+// active: it costs two O(|f|) profile sweeps.
+func levelDeltas(m *bdd.Manager, f, g bdd.Ref) string {
+	before := prof.Compute(m, []bdd.Ref{f}, prof.Options{})
+	after := prof.Compute(m, []bdd.Ref{g}, prof.Options{})
+	return prof.TopDeltas(before, after, 4)
+}

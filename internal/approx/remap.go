@@ -52,7 +52,8 @@ func RemapUnderApproxConfig(m *bdd.Manager, f bdd.Ref, threshold int, quality fl
 	markNodes(in, f, threshold, quality)
 	r := buildResult(in, f)
 	if sp != nil {
-		sp.End(obs.Int("size_out", m.DagSize(r)))
+		sp.End(obs.Int("size_out", m.DagSize(r)),
+			obs.Str("level_deltas", levelDeltas(m, f, r)))
 	}
 	return r
 }

@@ -56,7 +56,8 @@ func ShortPaths(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 		best = sp.subset(f, dmin)
 	}
 	if span != nil {
-		span.End(obs.Int("size_out", m.DagSize(best)))
+		span.End(obs.Int("size_out", m.DagSize(best)),
+			obs.Str("level_deltas", levelDeltas(m, f, best)))
 	}
 	return best
 }

@@ -6,11 +6,25 @@ import (
 	"sort"
 )
 
+// DotOptions customizes DumpDotStyled output.
+type DotOptions struct {
+	// NodeColor, when non-nil, returns a Graphviz fillcolor for the node
+	// with the given id ("" leaves the node unstyled). Profilers use it to
+	// grade nodes by minterm density so the plot shows where approximation
+	// will cut (see internal/prof.Profile.DotColor).
+	NodeColor func(id uint32) string
+}
+
 // DumpDot writes the forest rooted at the named functions in Graphviz dot
 // format, in the visual style of Figure 1 of the paper: solid lines for
 // then arcs, dashed lines for regular else arcs, dotted lines for
 // complemented else arcs.
 func (m *Manager) DumpDot(w io.Writer, names []string, roots []Ref) error {
+	return m.DumpDotStyled(w, names, roots, DotOptions{})
+}
+
+// DumpDotStyled is DumpDot with per-node styling.
+func (m *Manager) DumpDotStyled(w io.Writer, names []string, roots []Ref, opts DotOptions) error {
 	if len(names) != len(roots) {
 		return fmt.Errorf("bdd: DumpDot: %d names for %d roots", len(names), len(roots))
 	}
@@ -60,7 +74,13 @@ func (m *Manager) DumpDot(w io.Writer, names []string, roots []Ref) error {
 		}
 		fmt.Fprintln(w, " }")
 		for _, idx := range byLevel[lev] {
-			fmt.Fprintf(w, "  n%d [label=\"x%d\"];\n", idx, m.levToVar[lev])
+			style := ""
+			if opts.NodeColor != nil {
+				if c := opts.NodeColor(uint32(idx)); c != "" {
+					style = fmt.Sprintf(", style=filled, fillcolor=%q", c)
+				}
+			}
+			fmt.Fprintf(w, "  n%d [label=\"x%d\"%s];\n", idx, m.levToVar[lev], style)
 		}
 	}
 	fmt.Fprintln(w, "  c1 [shape=box, label=\"1\"];")

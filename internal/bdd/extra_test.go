@@ -206,6 +206,31 @@ func TestDumpDotSmoke(t *testing.T) {
 	m.Deref(f)
 }
 
+func TestDumpDotStyledFillsColors(t *testing.T) {
+	m := New(3)
+	f := m.And(m.IthVar(0), m.IthVar(1))
+	var sb strings.Builder
+	err := m.DumpDotStyled(&sb, []string{"f"}, []Ref{f}, DotOptions{
+		NodeColor: func(id uint32) string {
+			if id == f.ID() {
+				return "/blues9/7"
+			}
+			return "" // other nodes stay unstyled
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `style=filled, fillcolor="/blues9/7"`) {
+		t.Fatalf("styled dot output missing fillcolor:\n%s", out)
+	}
+	if strings.Count(out, "fillcolor") != 1 {
+		t.Fatalf("exactly one node should be filled:\n%s", out)
+	}
+	m.Deref(f)
+}
+
 func TestPanics(t *testing.T) {
 	m := New(3)
 	expectPanic := func(name string, fn func()) {

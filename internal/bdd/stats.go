@@ -109,6 +109,21 @@ type UniqueStats struct {
 	ChainHist []int64 // bucket count by chain length; last entry = longer
 }
 
+// LiveLevelCounts returns the number of live inner nodes at each level
+// (index = level) by walking the arena — the manager-truth level widths
+// that a structural profile over every live root must reproduce. Linear in
+// the arena; intended for reporting and cross-checks, not hot paths.
+func (m *Manager) LiveLevelCounts() []int {
+	counts := make([]int, len(m.subtables))
+	for idx := 1; idx < len(m.nodes); idx++ {
+		n := &m.nodes[idx]
+		if n.ref != 0 && n.level >= 0 && n.level != terminalLevel {
+			counts[n.level]++
+		}
+	}
+	return counts
+}
+
 // UniqueStats walks the unique table and returns a snapshot. The walk is
 // linear in the number of buckets plus stored nodes; intended for
 // reporting, not hot paths.

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Benchmark trajectory tracking: BENCH_reach.json is an append-only history
+// of Table 1 runs, so a perf regression shows up as a delta between the two
+// most recent records instead of a vague "it feels slower".
+// ---------------------------------------------------------------------------
+
+// HistorySchema versions the on-disk record layout; bump it when
+// HistoryRecord changes incompatibly. Loading rejects newer schemas rather
+// than misreading them.
+const HistorySchema = 1
+
+// HistoryRecord is one benchmark run appended by `make bench-save`
+// (tables -table 1 -bench-save).
+type HistoryRecord struct {
+	Schema int         `json:"schema"`
+	When   string      `json:"when"`  // RFC3339 timestamp of the run
+	Suite  string      `json:"suite"` // e.g. "table1-small", "table1-paper"
+	Rows   []Table1Row `json:"rows"`
+}
+
+// History is the whole trajectory file: newest record last.
+type History struct {
+	Records []HistoryRecord `json:"records"`
+}
+
+// LoadHistory reads a trajectory file; a missing file is an empty history.
+func LoadHistory(path string) (*History, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &History{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var h History
+	if err := json.NewDecoder(f).Decode(&h); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i, rec := range h.Records {
+		if rec.Schema > HistorySchema {
+			return nil, fmt.Errorf("%s: record %d has schema %d, this build reads <= %d",
+				path, i, rec.Schema, HistorySchema)
+		}
+	}
+	return &h, nil
+}
+
+// AppendHistory loads path (or starts fresh), appends rec and writes the
+// file back atomically (temp file + rename).
+func AppendHistory(path string, rec HistoryRecord) error {
+	h, err := LoadHistory(path)
+	if err != nil {
+		return err
+	}
+	rec.Schema = HistorySchema
+	if rec.When == "" {
+		rec.When = time.Now().UTC().Format(time.RFC3339)
+	}
+	h.Records = append(h.Records, rec)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Latest2 returns the two most recent records. ok is false with fewer than
+// two records — nothing to compare against yet.
+func (h *History) Latest2() (prev, cur *HistoryRecord, ok bool) {
+	n := len(h.Records)
+	if n < 2 {
+		return nil, nil, false
+	}
+	return &h.Records[n-2], &h.Records[n-1], true
+}
+
+// Regression tolerance: wall time may grow 15% and peak live nodes 25%
+// before bench-cmp complains. Sub-floor absolute deltas never count —
+// a 40ms run that doubles to 80ms is scheduler noise, not a regression.
+const (
+	timeTolerance  = 1.15
+	nodesTolerance = 1.25
+	timeFloor      = 250 * time.Millisecond
+	peakNodesFloor = 1024
+)
+
+// Regression is one metric of one method of one circuit that got worse
+// beyond tolerance between two records.
+type Regression struct {
+	Ckt    string  `json:"ckt"`
+	Method string  `json:"method"` // bfs, rua, sp
+	Metric string  `json:"metric"` // time, peak_nodes, completed
+	Prev   float64 `json:"prev"`
+	Cur    float64 `json:"cur"`
+	Ratio  float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	switch r.Metric {
+	case "time":
+		return fmt.Sprintf("%s/%s: time %v -> %v (%.2fx, tolerance %.2fx)",
+			r.Ckt, r.Method, time.Duration(r.Prev).Round(time.Millisecond),
+			time.Duration(r.Cur).Round(time.Millisecond), r.Ratio, timeTolerance)
+	case "peak_nodes":
+		return fmt.Sprintf("%s/%s: peak nodes %.0f -> %.0f (%.2fx, tolerance %.2fx)",
+			r.Ckt, r.Method, r.Prev, r.Cur, r.Ratio, nodesTolerance)
+	default:
+		return fmt.Sprintf("%s/%s: run no longer completes within budget", r.Ckt, r.Method)
+	}
+}
+
+// CompareRecords diffs cur against prev circuit by circuit, method by
+// method, and returns every regression beyond tolerance. Circuits present
+// in only one record are skipped (the suite changed; nothing comparable).
+// Wall time is only compared when both runs completed — a budget-bound run
+// reports its budget, not its speed — and completed -> not-completed is
+// itself flagged.
+func CompareRecords(prev, cur *HistoryRecord) []Regression {
+	prevRows := make(map[string]Table1Row, len(prev.Rows))
+	for _, r := range prev.Rows {
+		prevRows[r.Ckt] = r
+	}
+	var regs []Regression
+	for _, curRow := range cur.Rows {
+		prevRow, ok := prevRows[curRow.Ckt]
+		if !ok {
+			continue
+		}
+		for _, m := range []struct {
+			name string
+			p, c MethodResult
+		}{
+			{"bfs", prevRow.BFS, curRow.BFS},
+			{"rua", prevRow.RUA, curRow.RUA},
+			{"sp", prevRow.SP, curRow.SP},
+		} {
+			regs = append(regs, compareMethod(curRow.Ckt, m.name, m.p, m.c)...)
+		}
+	}
+	return regs
+}
+
+func compareMethod(ckt, method string, p, c MethodResult) []Regression {
+	var regs []Regression
+	if p.Done && !c.Done {
+		regs = append(regs, Regression{Ckt: ckt, Method: method, Metric: "completed", Prev: 1, Cur: 0, Ratio: 0})
+	}
+	if p.Done && c.Done && p.Time > 0 &&
+		c.Time-p.Time > timeFloor && float64(c.Time) > timeTolerance*float64(p.Time) {
+		regs = append(regs, Regression{
+			Ckt: ckt, Method: method, Metric: "time",
+			Prev: float64(p.Time), Cur: float64(c.Time),
+			Ratio: float64(c.Time) / float64(p.Time),
+		})
+	}
+	if p.PeakNodes > 0 && c.PeakNodes-p.PeakNodes > peakNodesFloor &&
+		float64(c.PeakNodes) > nodesTolerance*float64(p.PeakNodes) {
+		regs = append(regs, Regression{
+			Ckt: ckt, Method: method, Metric: "peak_nodes",
+			Prev: float64(p.PeakNodes), Cur: float64(c.PeakNodes),
+			Ratio: float64(c.PeakNodes) / float64(p.PeakNodes),
+		})
+	}
+	return regs
+}
+
+// WriteComparison renders a bench-cmp report: the records compared, each
+// regression (if any), and a per-circuit one-line trajectory so improvements
+// are visible too. Returns the number of regressions.
+func WriteComparison(w io.Writer, prev, cur *HistoryRecord) int {
+	regs := CompareRecords(prev, cur)
+	fmt.Fprintf(w, "bench-cmp: %s (%s) vs %s (%s)\n", prev.When, prev.Suite, cur.When, cur.Suite)
+	prevRows := make(map[string]Table1Row, len(prev.Rows))
+	for _, r := range prev.Rows {
+		prevRows[r.Ckt] = r
+	}
+	for _, c := range cur.Rows {
+		p, ok := prevRows[c.Ckt]
+		if !ok {
+			fmt.Fprintf(w, "  %-10s (new circuit, no baseline)\n", c.Ckt)
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s bfs %v->%v  rua %v->%v  sp %v->%v  peak %d->%d\n",
+			c.Ckt,
+			p.BFS.Time.Round(time.Millisecond), c.BFS.Time.Round(time.Millisecond),
+			p.RUA.Time.Round(time.Millisecond), c.RUA.Time.Round(time.Millisecond),
+			p.SP.Time.Round(time.Millisecond), c.SP.Time.Round(time.Millisecond),
+			maxPeak(p), maxPeak(c))
+	}
+	if len(regs) == 0 {
+		fmt.Fprintln(w, "no regressions beyond tolerance")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintln(w, "REGRESSION", r.String())
+	}
+	return len(regs)
+}
+
+func maxPeak(r Table1Row) int {
+	peak := r.BFS.PeakNodes
+	if r.RUA.PeakNodes > peak {
+		peak = r.RUA.PeakNodes
+	}
+	if r.SP.PeakNodes > peak {
+		peak = r.SP.PeakNodes
+	}
+	return peak
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// syntheticRow builds a fully populated Table1Row scaled by k, so doubling
+// k models a uniform 2x regression.
+func syntheticRow(ckt string, k float64) Table1Row {
+	mr := func(base time.Duration, peak int) MethodResult {
+		return MethodResult{
+			Time:        time.Duration(float64(base) * k),
+			Done:        true,
+			States:      65536,
+			Nodes:       40,
+			PeakNodes:   int(float64(peak) * k),
+			CacheHit:    0.75,
+			Iterations:  12,
+			Images:      12,
+			AndExists:   36,
+			PeakProduct: 900,
+			ImageTime:   time.Duration(float64(base) * k * 0.6),
+			SubsetTime:  time.Duration(float64(base) * k * 0.1),
+		}
+	}
+	return Table1Row{
+		Ckt: ckt, FF: 16, States: 65536,
+		BFS:   mr(2*time.Second, 50000),
+		RUATh: 100, RUAQual: 1.0, RUAPImg: "NA", RUA: mr(1500*time.Millisecond, 30000),
+		SPTh: 100, SPPImg: "NA", SP: mr(1800*time.Millisecond, 40000),
+	}
+}
+
+func record(when string, k float64) HistoryRecord {
+	return HistoryRecord{
+		When:  when,
+		Suite: "table1-test",
+		Rows:  []Table1Row{syntheticRow("counter", k)},
+	}
+}
+
+func TestHistoryAppendLoadCompare(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_reach.json")
+
+	// Missing file loads as empty history with nothing to compare.
+	h, err := LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := h.Latest2(); ok {
+		t.Fatal("empty history claims two records")
+	}
+
+	if err := AppendHistory(path, record("2026-08-06T10:00:00Z", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, record("2026-08-06T11:00:00Z", 1.05)); err != nil {
+		t.Fatal(err)
+	}
+	h, err = LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Records) != 2 {
+		t.Fatalf("history holds %d records, want 2", len(h.Records))
+	}
+	for i, rec := range h.Records {
+		if rec.Schema != HistorySchema {
+			t.Fatalf("record %d schema = %d, want %d", i, rec.Schema, HistorySchema)
+		}
+	}
+	prev, cur, ok := h.Latest2()
+	if !ok || prev.When != "2026-08-06T10:00:00Z" || cur.When != "2026-08-06T11:00:00Z" {
+		t.Fatalf("Latest2 = %v, %v, %v", prev, cur, ok)
+	}
+
+	// A 5% drift is within tolerance: bench-cmp must pass.
+	if regs := CompareRecords(prev, cur); len(regs) != 0 {
+		t.Fatalf("5%% drift flagged as regression: %v", regs)
+	}
+	var buf bytes.Buffer
+	if n := WriteComparison(&buf, prev, cur); n != 0 {
+		t.Fatalf("WriteComparison reports %d regressions:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no regressions beyond tolerance") {
+		t.Fatalf("comparison report missing OK line:\n%s", buf.String())
+	}
+}
+
+// TestCompareDetectsSyntheticRegression is the acceptance check: injecting
+// a uniform 2x slowdown (and 2x peak-node growth) must trip every method's
+// time and peak-node thresholds.
+func TestCompareDetectsSyntheticRegression(t *testing.T) {
+	prev := record("2026-08-06T10:00:00Z", 1.0)
+	cur := record("2026-08-06T11:00:00Z", 2.0)
+	regs := CompareRecords(&prev, &cur)
+	byMetric := map[string]int{}
+	for _, r := range regs {
+		byMetric[r.Metric]++
+		if r.Ratio < 1.9 || r.Ratio > 2.1 {
+			t.Errorf("%s/%s %s ratio = %.2f, want ~2", r.Ckt, r.Method, r.Metric, r.Ratio)
+		}
+	}
+	if byMetric["time"] != 3 || byMetric["peak_nodes"] != 3 {
+		t.Fatalf("regression breakdown = %v, want 3 time + 3 peak_nodes", byMetric)
+	}
+	var buf bytes.Buffer
+	if n := WriteComparison(&buf, &prev, &cur); n != len(regs) {
+		t.Fatalf("WriteComparison count %d != %d", n, len(regs))
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("report missing REGRESSION lines:\n%s", buf.String())
+	}
+}
+
+func TestCompareEdgeCases(t *testing.T) {
+	prev := record("a", 1.0)
+	cur := record("b", 1.0)
+
+	// completed -> not-completed is a regression even with a faster time.
+	cur.Rows[0].BFS.Done = false
+	cur.Rows[0].BFS.Time = time.Second
+	regs := CompareRecords(&prev, &cur)
+	if len(regs) != 1 || regs[0].Metric != "completed" || regs[0].Method != "bfs" {
+		t.Fatalf("completed->partial regressions = %v", regs)
+	}
+
+	// A 3x blowup under the absolute floors is noise, not a regression.
+	prev = record("a", 1.0)
+	cur = record("b", 1.0)
+	prev.Rows[0].SP.Time = 40 * time.Millisecond
+	cur.Rows[0].SP.Time = 120 * time.Millisecond
+	prev.Rows[0].SP.PeakNodes = 100
+	cur.Rows[0].SP.PeakNodes = 300
+	if regs := CompareRecords(&prev, &cur); len(regs) != 0 {
+		t.Fatalf("sub-floor deltas flagged: %v", regs)
+	}
+
+	// Circuits without a baseline are skipped.
+	cur = record("b", 5.0)
+	cur.Rows[0].Ckt = "brand-new"
+	if regs := CompareRecords(&prev, &cur); len(regs) != 0 {
+		t.Fatalf("unmatched circuit compared: %v", regs)
+	}
+}
+
+// TestWriteTable1JSONRoundTrip round-trips rows through the BENCH_*.json
+// encoding and checks the per-phase breakdown survives with sane values.
+func TestWriteTable1JSONRoundTrip(t *testing.T) {
+	rows := []Table1Row{syntheticRow("counter", 1.0), syntheticRow("am2910", 1.3)}
+	var buf bytes.Buffer
+	if err := WriteTable1JSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Table string      `json:"table"`
+		Rows  []Table1Row `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Table != "table1" || len(snap.Rows) != len(rows) {
+		t.Fatalf("snapshot = %q/%d rows, want table1/%d", snap.Table, len(snap.Rows), len(rows))
+	}
+	for i, got := range snap.Rows {
+		want := rows[i]
+		if got != want {
+			t.Fatalf("row %d changed across round trip:\ngot  %+v\nwant %+v", i, got, want)
+		}
+		for _, m := range []MethodResult{got.BFS, got.RUA, got.SP} {
+			if m.Iterations <= 0 || m.Images <= 0 || m.AndExists <= 0 || m.PeakProduct <= 0 {
+				t.Fatalf("row %d: phase counters not populated: %+v", i, m)
+			}
+			if m.ImageTime < 0 || m.SubsetTime < 0 || m.ClosureTime < 0 || m.Time < 0 {
+				t.Fatalf("row %d: negative phase time: %+v", i, m)
+			}
+			if m.ImageTime+m.SubsetTime+m.ClosureTime > m.Time {
+				t.Fatalf("row %d: phase times exceed total: %+v", i, m)
+			}
+		}
+	}
+}

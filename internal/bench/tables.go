@@ -189,9 +189,9 @@ func Table4(fns []Fn, minNodes int) DecompResult {
 type MethodResult struct {
 	Time      time.Duration `json:"time_ns"`
 	Done      bool          `json:"done"`
-	States    float64       `json:"states"` // states found (exact when Done, explored otherwise)
-	Nodes     int           `json:"nodes"`  // |reached| at the end
-	PeakNodes int           `json:"peak_nodes"` // manager live-node high-water mark
+	States    float64       `json:"states"`         // states found (exact when Done, explored otherwise)
+	Nodes     int           `json:"nodes"`          // |reached| at the end
+	PeakNodes int           `json:"peak_nodes"`     // manager live-node high-water mark
 	CacheHit  float64       `json:"cache_hit_rate"` // computed-table hit rate over the run
 
 	// Phase breakdown: where Time went and how much work each phase did.

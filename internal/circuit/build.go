@@ -270,6 +270,23 @@ func compileNary(m *bdd.Manager, op Op, in []Sig, vals []bdd.Ref) bdd.Ref {
 	return acc
 }
 
+// LiveRoots returns every function the compilation keeps alive — outputs,
+// next-state functions, the initial-state predicate, and the projection
+// function of every variable. After a GarbageCollect has dropped the dead
+// compile intermediates, the union of their DAGs is exactly the manager's
+// live node set, which makes this the root set for whole-manager
+// structural profiles (internal/prof).
+func (c *Compiled) LiveRoots() []bdd.Ref {
+	roots := make([]bdd.Ref, 0, len(c.Outputs)+len(c.Next)+1+c.M.NumVars())
+	roots = append(roots, c.Outputs...)
+	roots = append(roots, c.Next...)
+	roots = append(roots, c.Init)
+	for i := 0; i < c.M.NumVars(); i++ {
+		roots = append(roots, c.M.IthVar(i))
+	}
+	return roots
+}
+
 // Release drops every reference the compilation holds; the manager remains
 // usable for functions the caller retained separately.
 func (c *Compiled) Release() {

@@ -54,6 +54,61 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramObserveExtremes(t *testing.T) {
+	var h Histogram
+	// Non-positive observations clamp to bucket 0 (no out-of-range index,
+	// no negative mass in the sum); MaxInt64 saturates in the top bucket.
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.MinInt64)
+	h.Observe(1)
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.Sum != 1 {
+		t.Fatalf("sum = %d, want 1 (negatives must clamp to 0)", s.Sum)
+	}
+	if s.P50 != 0 {
+		t.Fatalf("p50 = %d, want 0 (three of four observations are zero)", s.P50)
+	}
+
+	var big Histogram
+	big.Observe(math.MaxInt64)
+	bs := big.Snapshot()
+	if bs.Max != math.MaxInt64 {
+		t.Fatalf("max = %d, want MaxInt64", bs.Max)
+	}
+	if bs.P50 <= 0 || bs.P99 < bs.P95 || bs.P95 < bs.P90 {
+		t.Fatalf("quantiles broken for MaxInt64: p50=%d p90=%d p95=%d p99=%d",
+			bs.P50, bs.P90, bs.P95, bs.P99)
+	}
+}
+
+func TestHistogramSnapshotExportsP95(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.P95 < s.P50 || s.P95 > s.Max*2 {
+		t.Fatalf("p95 = %d out of range (p50=%d max=%d)", s.P95, s.P50, s.Max)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "\"p95\"") {
+		t.Fatalf("snapshot JSON missing p95: %s", b)
+	}
+	var buf strings.Builder
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "lat_p95 ") {
+		t.Fatalf("WriteText missing p95 line:\n%s", buf.String())
+	}
+}
+
 func TestRegistrySnapshotSanitizesGaugeFuncs(t *testing.T) {
 	r := NewRegistry()
 	r.GaugeFunc("bad_rate", func() float64 { return math.NaN() })

@@ -72,8 +72,13 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 }
 
-// Observe records one value.
+// Observe records one value. Non-positive values clamp to zero: they land
+// in bucket 0 and contribute nothing to the sum, so a caller observing a
+// clock that stepped backwards cannot corrupt the distribution.
 func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.max.SetMax(v)
@@ -99,6 +104,7 @@ type HistogramSnapshot struct {
 	Max   int64   `json:"max"`
 	P50   int64   `json:"p50"`
 	P90   int64   `json:"p90"`
+	P95   int64   `json:"p95"`
 	P99   int64   `json:"p99"`
 }
 
@@ -114,7 +120,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Mean = float64(s.Sum) / float64(s.Count)
 	}
 	var cum int64
-	q50, q90, q99 := false, false, false
+	q50, q90, q95, q99 := false, false, false, false
 	for i := 0; i < histBuckets; i++ {
 		cum += h.buckets[i].Load()
 		bound := int64(1) << uint(i)
@@ -126,6 +132,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 		if !q90 && float64(cum) >= 0.90*float64(s.Count) && s.Count > 0 {
 			s.P90, q90 = bound, true
+		}
+		if !q95 && float64(cum) >= 0.95*float64(s.Count) && s.Count > 0 {
+			s.P95, q95 = bound, true
 		}
 		if !q99 && float64(cum) >= 0.99*float64(s.Count) && s.Count > 0 {
 			s.P99, q99 = bound, true
@@ -251,6 +260,7 @@ func (r *Registry) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "%s_max %d\n", n, v.Max)
 			fmt.Fprintf(w, "%s_p50 %d\n", n, v.P50)
 			fmt.Fprintf(w, "%s_p90 %d\n", n, v.P90)
+			fmt.Fprintf(w, "%s_p95 %d\n", n, v.P95)
 			fmt.Fprintf(w, "%s_p99 %d\n", n, v.P99)
 		case float64:
 			fmt.Fprintf(w, "%s %.6g\n", n, v)

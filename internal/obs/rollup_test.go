@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTrace builds a synthetic two-iteration traversal trace through the
+// real tracer, sleeping long enough that durations are meaningfully ordered
+// (image dominates iteration 1, subset dominates nothing — it is fast).
+func fakeTrace(t *testing.T, imageSleep time.Duration) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	for iter := 1; iter <= 2; iter++ {
+		isp := tr.Begin(iterationSpan, Str("mode", "bfs"), Int("iter", iter), Int("frontier_nodes", 10*iter))
+		img := tr.Begin("reach.image")
+		time.Sleep(imageSleep)
+		img.End()
+		tr.Event("reach.subset", Int("threshold", 100))
+		isp.End(Int("fresh_nodes", 5*iter), Int("reached_nodes", 20*iter))
+	}
+	return buf.Bytes()
+}
+
+func TestAnalyzeTraceRollupsAndIterations(t *testing.T) {
+	data := fakeTrace(t, 2*time.Millisecond)
+	a, err := AnalyzeTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("AnalyzeTrace: %v", err)
+	}
+	if a.Spans != 4 || a.Events != 2 {
+		t.Fatalf("got %d spans, %d events; want 4, 2", a.Spans, a.Events)
+	}
+	var iterRoll, imgRoll *Rollup
+	for i := range a.Rollups {
+		switch a.Rollups[i].Name {
+		case iterationSpan:
+			iterRoll = &a.Rollups[i]
+		case "reach.image":
+			imgRoll = &a.Rollups[i]
+		}
+	}
+	if iterRoll == nil || imgRoll == nil {
+		t.Fatalf("missing rollups: %+v", a.Rollups)
+	}
+	if iterRoll.Count != 2 || imgRoll.Count != 2 {
+		t.Fatalf("rollup counts: iter=%d image=%d, want 2/2", iterRoll.Count, imgRoll.Count)
+	}
+	// The iteration's self time must exclude the image time it contains.
+	if iterRoll.Self >= iterRoll.Total {
+		t.Fatalf("iteration self %d not reduced below total %d", iterRoll.Self, iterRoll.Total)
+	}
+	if imgRoll.Total > iterRoll.Total {
+		t.Fatalf("child total %d exceeds parent total %d", imgRoll.Total, iterRoll.Total)
+	}
+	if iterRoll.P95 < iterRoll.P50 {
+		t.Fatalf("p95 %d < p50 %d", iterRoll.P95, iterRoll.P50)
+	}
+
+	if len(a.Iterations) != 2 {
+		t.Fatalf("got %d iteration summaries, want 2", len(a.Iterations))
+	}
+	it := a.Iterations[0]
+	if it.Iter != 1 || it.Mode != "bfs" {
+		t.Fatalf("iteration attrs not decoded: %+v", it)
+	}
+	if it.Critical != "reach.image" {
+		t.Fatalf("critical phase = %q, want reach.image (phases: %+v)", it.Critical, it.Phases)
+	}
+	if it.Fresh != 5 || it.Reached != 20 {
+		t.Fatalf("size attrs not decoded: fresh=%d reached=%d", it.Fresh, it.Reached)
+	}
+
+	var out strings.Builder
+	a.WriteSummary(&out)
+	for _, want := range []string{"reach.iteration", "reach.image", "critical", "p95", "reach.subset"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAnalyzeTraceRejectsGarbage(t *testing.T) {
+	_, err := AnalyzeTrace(strings.NewReader("{\"kind\":\"span\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+	a, err := AnalyzeTrace(strings.NewReader(""))
+	if err != nil || a.Lines != 0 {
+		t.Fatalf("empty trace: %v, %+v", err, a)
+	}
+}
+
+func TestDiffRollupsSignedDeltas(t *testing.T) {
+	fast, err := AnalyzeTrace(bytes.NewReader(fakeTrace(t, 1*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := AnalyzeTrace(bytes.NewReader(fakeTrace(t, 8*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := DiffRollups(fast, slow)
+	byName := make(map[string]RollupDelta)
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	img := byName["reach.image"]
+	if img.Delta <= 0 {
+		t.Fatalf("slow run must show positive image delta, got %+d", img.Delta)
+	}
+	if img.Ratio <= 1 {
+		t.Fatalf("ratio = %.2f, want > 1", img.Ratio)
+	}
+	// Reverse direction flips the sign.
+	rev := DiffRollups(slow, fast)
+	for _, d := range rev {
+		if d.Name == "reach.image" && d.Delta >= 0 {
+			t.Fatalf("reverse diff must be negative, got %+d", d.Delta)
+		}
+	}
+	var out strings.Builder
+	WriteDiff(&out, fast, slow, deltas)
+	if !strings.Contains(out.String(), "reach.image") || !strings.Contains(out.String(), "Δwall") {
+		t.Fatalf("diff output malformed:\n%s", out.String())
+	}
+}

@@ -1,0 +1,183 @@
+package prof_test
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"bddkit/internal/approx"
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+	"bddkit/internal/prof"
+)
+
+// buildMajority returns a fresh manager and the 5-variable majority
+// function (true when at least three inputs are true) — small, shared, and
+// non-trivial at every level.
+func buildMajority(t *testing.T) (*bdd.Manager, bdd.Ref) {
+	t.Helper()
+	m := bdd.New(5)
+	f := bdd.Zero
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			for k := j + 1; k < 5; k++ {
+				a := m.And(m.IthVar(i), m.IthVar(j))
+				ab := m.And(a, m.IthVar(k))
+				m.Deref(a)
+				nf := m.Or(f, ab)
+				m.Deref(ab)
+				m.Deref(f)
+				f = nf
+			}
+		}
+	}
+	return m, f
+}
+
+func TestProfileCountsMatchManager(t *testing.T) {
+	m, f := buildMajority(t)
+	p := prof.For(m, f)
+
+	if got, want := p.TotalNodes(), m.DagSize(f); got != want {
+		t.Fatalf("TotalNodes = %d, want DagSize %d", got, want)
+	}
+	if p.Nodes != m.DagSize(f) {
+		t.Fatalf("Nodes = %d, want %d", p.Nodes, m.DagSize(f))
+	}
+
+	// Minterm fraction of majority-of-5 is 16/32.
+	if math.Abs(p.RootFracs[0]-0.5) > 1e-12 {
+		t.Fatalf("root fraction = %v, want 0.5", p.RootFracs[0])
+	}
+
+	// The root level carries all of the root's minterm mass.
+	if len(p.Levels) == 0 || math.Abs(p.Levels[0].Mass-0.5) > 1e-12 {
+		t.Fatalf("top-level mass = %+v, want 0.5", p.Levels)
+	}
+
+	// Path histogram must agree with the manager's path counter.
+	if got, want := p.PathsToOne, m.CountPath(f); got != want {
+		t.Fatalf("PathsToOne = %v, want CountPath %v", got, want)
+	}
+	if got, want := p.PathsToZero, m.CountPath(f.Complement()); got != want {
+		t.Fatalf("PathsToZero = %v, want %v", got, want)
+	}
+	if p.MinPath < 1 || p.MaxPath > 5 || p.MinPath > p.MaxPath {
+		t.Fatalf("path bounds [%d,%d] out of range", p.MinPath, p.MaxPath)
+	}
+
+	// In-degree buckets cover every inner node exactly once.
+	var inDeg int64
+	for _, n := range p.InDegree {
+		inDeg += n
+	}
+	if inDeg != int64(p.Inner) {
+		t.Fatalf("in-degree buckets cover %d nodes, want %d", inDeg, p.Inner)
+	}
+}
+
+// TestProfileMatchesLiveNodeAccounting is the acceptance check behind
+// `bddlab -profile`: profiling every live root of a compiled circuit must
+// reproduce the manager's own live-node accounting, level by level.
+func TestProfileMatchesLiveNodeAccounting(t *testing.T) {
+	f, err := os.Open("../../testdata/counter.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nl, err := circuit.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := circuit.Compile(nl, circuit.CompileOptions{SkipNextVars: len(nl.Latches) == 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.M
+	m.GarbageCollect() // drop compile intermediates so live == referenced
+
+	roots := c.LiveRoots()
+	p := prof.Compute(m, roots, prof.Options{})
+	if got, want := p.TotalNodes(), m.NodeCount(); got != want {
+		t.Fatalf("profile covers %d nodes, manager accounts %d live", got, want)
+	}
+	if got, want := p.Nodes, m.SharingSize(roots); got != want {
+		t.Fatalf("profile %d nodes, SharingSize %d", got, want)
+	}
+	counts := m.LiveLevelCounts()
+	for _, st := range p.Levels {
+		if counts[st.Level] != st.Nodes {
+			t.Fatalf("level %d: profile %d nodes, arena %d", st.Level, st.Nodes, counts[st.Level])
+		}
+		counts[st.Level] = 0
+	}
+	for lev, n := range counts {
+		if n != 0 {
+			t.Fatalf("level %d: %d live nodes missing from the profile", lev, n)
+		}
+	}
+}
+
+func TestTopDeltasReflectApproximationCuts(t *testing.T) {
+	m, f := buildMajority(t)
+	before := prof.Compute(m, []bdd.Ref{f}, prof.Options{})
+	g := approx.RemapUnderApprox(m, f, 2, 0.1) // aggressive: forces real cuts
+	after := prof.Compute(m, []bdd.Ref{g}, prof.Options{})
+	if m.DagSize(g) >= m.DagSize(f) {
+		t.Skipf("approximation did not shrink (%d -> %d)", m.DagSize(f), m.DagSize(g))
+	}
+	s := prof.TopDeltas(before, after, 3)
+	if s == "" {
+		t.Fatal("TopDeltas empty for a shrinking approximation")
+	}
+	if !strings.Contains(s, "-") {
+		t.Fatalf("TopDeltas %q must contain a negative delta", s)
+	}
+	if prof.TopDeltas(before, before, 3) != "" {
+		t.Fatal("TopDeltas of identical profiles must be empty")
+	}
+}
+
+func TestRenderTextAndJSON(t *testing.T) {
+	m, f := buildMajority(t)
+	p := prof.For(m, f)
+	var b strings.Builder
+	p.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"profile:", "level", "density", "paths:", "in-degree:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text render missing %q:\n%s", want, out)
+		}
+	}
+	var jb strings.Builder
+	if err := p.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"\"levels\"", "\"max_width\"", "\"path_hist\""} {
+		if !strings.Contains(jb.String(), want) {
+			t.Fatalf("JSON render missing %q", want)
+		}
+	}
+}
+
+func TestDotColorGradesByMass(t *testing.T) {
+	m, f := buildMajority(t)
+	p := prof.For(m, f)
+	if c := p.DotColor(f.ID()); c != "/blues9/8" && c != "/blues9/9" {
+		t.Fatalf("root color = %q, want a dark blues9 shade", c)
+	}
+	if c := p.DotColor(0xffffff); c != "" {
+		t.Fatalf("unknown node got color %q", c)
+	}
+	// Every profiled inner node gets a shade in range.
+	for id := range p.NodeMass {
+		c := p.DotColor(id)
+		if !strings.HasPrefix(c, "/blues9/") {
+			t.Fatalf("node %d color %q", id, c)
+		}
+	}
+	if got := p.TopWidths(2); got == "" || !strings.Contains(got, ":") {
+		t.Fatalf("TopWidths = %q", got)
+	}
+}

@@ -1,0 +1,78 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteText renders the profile as a fixed-width table: a header line, one
+// row per non-empty level, and path/sharing summary lines.
+func (p *Profile) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "profile: %d root(s), %d nodes (%d inner), %d vars, max width %d @ level %d\n",
+		p.Roots, p.Nodes, p.Inner, p.Vars, p.MaxWidth, p.MaxWidthLev)
+	for i, f := range p.RootFracs {
+		fmt.Fprintf(w, "  root %d minterm fraction %.6g\n", i, f)
+	}
+	fmt.Fprintf(w, "%6s %6s %8s %8s %8s %12s %12s\n",
+		"level", "var", "nodes", "in-arcs", "shared", "mass", "density")
+	for _, st := range p.Levels {
+		fmt.Fprintf(w, "%6d %6d %8d %8d %8d %12.6g %12.6g\n",
+			st.Level, st.Var, st.Nodes, st.InArcs, st.Shared, st.Mass, st.Density)
+	}
+	fmt.Fprintf(w, "total: %d nodes across %d levels, %d shared (in-degree >= 2)\n",
+		p.TotalNodes(), len(p.Levels), p.SharedNodes)
+	if p.PathHist != nil {
+		fmt.Fprintf(w, "paths: %.6g to 1, %.6g to 0, length min %d / avg %.2f / max %d\n",
+			p.PathsToOne, p.PathsToZero, p.MinPath, p.AvgPath, p.MaxPath)
+	}
+	if len(p.InDegree) > 0 {
+		fmt.Fprintf(w, "in-degree:")
+		for b, n := range p.InDegree {
+			if n == 0 {
+				continue
+			}
+			lo := 1 << uint(b-1)
+			hi := 1<<uint(b) - 1
+			if b <= 1 {
+				lo, hi = b, b // buckets 0 and 1 are exact
+			}
+			if lo == hi {
+				fmt.Fprintf(w, " %d:%d", lo, n)
+			} else {
+				fmt.Fprintf(w, " %d-%d:%d", lo, hi, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteJSON renders the profile as indented JSON.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// formatLevelList renders levels as a compact "lev:value" comma list.
+func formatLevelList(levels []LevelStat, value func(LevelStat) int) string {
+	out := ""
+	for i, st := range levels {
+		if i > 0 {
+			out += ","
+		}
+		out += itoa(st.Level) + ":" + itoa(value(st))
+	}
+	return out
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// signedItoa always renders a sign, so deltas read as deltas.
+func signedItoa(v int) string {
+	if v > 0 {
+		return "+" + strconv.Itoa(v)
+	}
+	return strconv.Itoa(v)
+}

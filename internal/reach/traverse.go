@@ -5,6 +5,7 @@ import (
 
 	"bddkit/internal/bdd"
 	"bddkit/internal/obs"
+	"bddkit/internal/prof"
 )
 
 // Options selects and parameterizes a traversal.
@@ -27,6 +28,11 @@ type Options struct {
 	// Tracer receives structured spans and events for this run; nil falls
 	// back to the process-global obs.T.
 	Tracer *obs.Tracer
+	// Profile emits a reach.profile trace event per iteration with a
+	// structural summary (widths, widest levels) of the fresh frontier and
+	// the reached set. Costs one O(nodes) profile sweep per set per
+	// iteration; no effect when tracing is off.
+	Profile bool
 }
 
 // Result reports a completed traversal.
@@ -99,6 +105,9 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 		reached = nr
 		frontier = fresh
 		tr.endIteration(isp, fresh, reached)
+		if opts.Profile {
+			tr.profileEvent(t, iters, fresh, reached)
+		}
 		if overBudget(start, iters, opts) {
 			m.Deref(frontier)
 			break
@@ -144,6 +153,27 @@ func (tr *TR) endIteration(sp *obs.Span, fresh, reached bdd.Ref) {
 		obs.F64("fresh_density", tr.density(fresh, fn)),
 		obs.Int("reached_nodes", rn),
 		obs.F64("reached_density", tr.density(reached, rn)))
+}
+
+// profileEvent emits the per-iteration structural summary behind
+// Options.Profile. The full per-level tables stay out of the trace to keep
+// it compact; the event carries totals, the widest levels and max widths —
+// enough for traceview (and a human) to see where the frontier bulges.
+func (tr *TR) profileEvent(t *obs.Tracer, iter int, fresh, reached bdd.Ref) {
+	if !t.Enabled() {
+		return
+	}
+	m := tr.M
+	fp := prof.Compute(m, []bdd.Ref{fresh}, prof.Options{})
+	rp := prof.Compute(m, []bdd.Ref{reached}, prof.Options{})
+	t.Event("reach.profile",
+		obs.Int("iter", iter),
+		obs.Int("frontier_nodes", fp.Nodes),
+		obs.Int("frontier_max_width", fp.MaxWidth),
+		obs.Str("frontier_top_widths", fp.TopWidths(3)),
+		obs.Int("reached_nodes", rp.Nodes),
+		obs.Int("reached_max_width", rp.MaxWidth),
+		obs.Str("reached_top_widths", rp.TopWidths(3)))
 }
 
 // density is the paper's quality measure: states per node.
@@ -253,6 +283,9 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 				obs.Int("frontier_after", m.DagSize(frontier)))
 		}
 		tr.endIteration(isp, fresh, reached)
+		if opts.Profile {
+			tr.profileEvent(t, iters, fresh, reached)
+		}
 		m.Deref(fresh)
 		if overBudget(start, iters, opts) {
 			m.Deref(frontier)

@@ -1,12 +1,14 @@
 GO ?= go
 BENCH_HISTORY ?= BENCH_reach.json
+FUZZTIME ?= 10s
 
-.PHONY: check test vet build race bench bench-save bench-cmp obs-smoke profile-smoke
+.PHONY: check test vet build race fuzz-smoke bench bench-save bench-cmp obs-smoke profile-smoke
 
-## check: vet, build, test everything, race-test the BDD core, then smoke
-## the observability layer end to end (trace schema + required spans,
+## check: vet, build, test everything, race-test the BDD core and the
+## oracle stress driver, smoke the fuzz targets, then smoke the
+## observability layer end to end (trace schema + required spans,
 ## structural profiler, benchmark trajectory in advisory mode).
-check: vet build test race obs-smoke profile-smoke
+check: vet build test race fuzz-smoke obs-smoke profile-smoke
 	$(GO) run ./cmd/tables -bench-cmp $(BENCH_HISTORY) -bench-advisory
 
 ## vet: static analysis plus race-testing the packages with lock-free fast
@@ -22,7 +24,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/bdd
+	$(GO) test -race -count=1 ./internal/bdd ./internal/oracle
+
+## fuzz-smoke: run each native fuzz target briefly ($(FUZZTIME) apiece) on
+## top of its checked-in seed corpus under testdata/fuzz/. This is a smoke
+## pass for `make check`; leave a target running with e.g.
+## `go test ./internal/oracle -run '^$$' -fuzz FuzzLoad` to really dig.
+fuzz-smoke:
+	$(GO) test ./internal/oracle -run '^$$' -fuzz 'FuzzLoad$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle -run '^$$' -fuzz 'FuzzNetlistParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle -run '^$$' -fuzz 'FuzzITESequence$$' -fuzztime $(FUZZTIME)
 
 ## bench: run the memory-subsystem benchmarks plus the two paper-level
 ## benchmarks the cache overhaul is measured by; raw output lands in

@@ -28,6 +28,25 @@ import (
 
 const ioMagic = "bddkit-bdd v1"
 
+// Load treats its input as untrusted: header counts are validated against
+// these caps before any allocation or variable growth, so a malformed
+// "vars 2000000000" line is an error, not an OOM. The caps are far above
+// anything this package can process in practice, yet small enough that a
+// hostile header cannot commit unbounded memory.
+const (
+	// MaxLoadVars bounds the "vars N" header (and therefore how many
+	// variables Load may add to the destination manager).
+	MaxLoadVars = 1 << 20
+	// MaxLoadNodes bounds the "nodes N" header.
+	MaxLoadNodes = 1 << 26
+	// maxLoadPrealloc bounds how much of the node index is allocated up
+	// front on the strength of the header alone; beyond it the index
+	// grows only as node lines actually arrive.
+	maxLoadPrealloc = 1 << 16
+	// maxLoadRoots bounds the "roots N" header.
+	maxLoadRoots = 1 << 20
+)
+
 // Save writes the forest rooted at the named functions.
 func (m *Manager) Save(w io.Writer, names []string, roots []Ref) error {
 	if len(names) != len(roots) {
@@ -37,22 +56,41 @@ func (m *Manager) Save(w io.Writer, names []string, roots []Ref) error {
 	fmt.Fprintln(bw, ioMagic)
 	fmt.Fprintf(bw, "vars %d\n", m.NumVars())
 
-	// Assign local ids in children-first order.
+	// Assign local ids in children-first order. The walk uses an explicit
+	// worklist rather than recursion: a chain-shaped BDD (a cube over a
+	// million variables) is as deep as it is large, and must not exhaust
+	// the goroutine stack.
 	local := map[uint32]int{One.ID(): 0}
 	var order []Ref // regular refs, children first
-	var visit func(r Ref)
-	visit = func(r Ref) {
-		if _, ok := local[r.ID()]; ok {
-			return
+	var stack []Ref // regular refs pending a post-order visit
+	visit := func(r Ref) {
+		stack = append(stack, r.Regular())
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if _, ok := local[top.ID()]; ok {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			hi, lo := m.StructHi(top), m.StructLo(top)
+			_, hiDone := local[hi.ID()]
+			_, loDone := local[lo.ID()]
+			if hiDone && loDone {
+				stack = stack[:len(stack)-1]
+				local[top.ID()] = len(order) + 1
+				order = append(order, top)
+				continue
+			}
+			if !hiDone {
+				stack = append(stack, hi.Regular())
+			}
+			if !loDone {
+				stack = append(stack, lo.Regular())
+			}
 		}
-		visit(m.StructHi(r))
-		visit(m.StructLo(r))
-		local[r.ID()] = len(order) + 1
-		order = append(order, r.Regular())
 	}
 	for _, r := range roots {
 		if !r.IsConstant() {
-			visit(r.Regular())
+			visit(r)
 		}
 	}
 	enc := func(r Ref) string {
@@ -105,6 +143,9 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 	if s, err := line(); err != nil || !scan1(s, "vars %d", &nvars) {
 		return nil, fmt.Errorf("bdd: Load: missing vars header")
 	}
+	if nvars < 0 || nvars > MaxLoadVars {
+		return nil, fmt.Errorf("bdd: Load: vars %d outside [0,%d]", nvars, MaxLoadVars)
+	}
 	for m.NumVars() < nvars {
 		m.AddVar()
 	}
@@ -112,12 +153,20 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 	if s, err := line(); err != nil || !scan1(s, "nodes %d", &nnodes) {
 		return nil, fmt.Errorf("bdd: Load: missing nodes header")
 	}
+	if nnodes < 0 || nnodes > MaxLoadNodes {
+		return nil, fmt.Errorf("bdd: Load: nodes %d outside [0,%d]", nnodes, MaxLoadNodes)
+	}
 	// byID[i] holds the regular function for local id i; all are owned
-	// here and released on return.
-	byID := make([]Ref, nnodes+1)
+	// here and released on return. The header alone commits only a small
+	// allocation — the index grows with the node lines actually read, so
+	// an inflated count costs nothing.
+	prealloc := nnodes + 1
+	if prealloc > maxLoadPrealloc {
+		prealloc = maxLoadPrealloc
+	}
+	byID := make([]Ref, 1, prealloc)
 	byID[0] = One
-	// release drops the construction references; unfilled slots hold the
-	// constant One, for which Deref is a no-op.
+	// release drops the construction references (only filled slots exist).
 	release := func() {
 		for _, f := range byID[1:] {
 			m.Deref(f)
@@ -165,7 +214,7 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 			release()
 			return nil, err
 		}
-		byID[i] = m.ITE(m.IthVar(v), hi, lo)
+		byID = append(byID, m.ITE(m.IthVar(v), hi, lo))
 		filled = i
 	}
 	var nroots int
@@ -173,7 +222,11 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 		release()
 		return nil, fmt.Errorf("bdd: Load: missing roots header")
 	}
-	out := make(map[string]Ref, nroots)
+	if nroots < 0 || nroots > maxLoadRoots {
+		release()
+		return nil, fmt.Errorf("bdd: Load: roots %d outside [0,%d]", nroots, maxLoadRoots)
+	}
+	out := make(map[string]Ref, min(nroots, maxLoadPrealloc))
 	for i := 0; i < nroots; i++ {
 		s, err := line()
 		if err != nil {

@@ -217,3 +217,74 @@ func TestIntersect(t *testing.T) {
 		t.Fatal("x intersects ¬x")
 	}
 }
+
+// TestLoadRejectsOversizedHeaders: header counts are untrusted and must be
+// range-checked before any allocation — "vars 2000000000" used to commit
+// gigabytes of variable state before the first node line was even read.
+func TestLoadRejectsOversizedHeaders(t *testing.T) {
+	cases := map[string]string{
+		"huge vars":      "bddkit-bdd v1\nvars 2000000000\nnodes 1\n",
+		"negative vars":  "bddkit-bdd v1\nvars -1\nnodes 0\nroots 0\n",
+		"huge nodes":     "bddkit-bdd v1\nvars 2\nnodes 2000000000\n1 0 +0 -0\n",
+		"negative nodes": "bddkit-bdd v1\nvars 2\nnodes -1\nroots 0\n",
+		"huge roots":     "bddkit-bdd v1\nvars 2\nnodes 0\nroots 2000000000\n",
+		"negative roots": "bddkit-bdd v1\nvars 2\nnodes 0\nroots -5\n",
+	}
+	for name, src := range cases {
+		m := New(2)
+		if _, err := m.Load(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+		if m.NumVars() > MaxLoadVars {
+			t.Errorf("%s: manager grew to %d variables", name, m.NumVars())
+		}
+		m.GarbageCollect()
+		if err := m.DebugCheck(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestSaveLoadDeepChain round-trips a cube over many variables: the BDD is
+// a chain as deep as it is large, so this fails with a stack overflow if
+// Save's children-first walk ever goes back to being recursive.
+func TestSaveLoadDeepChain(t *testing.T) {
+	const n = 1 << 17
+	m := New(n)
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	cube := m.CubeFromVars(vars)
+	var buf bytes.Buffer
+	if err := m.Save(&buf, []string{"cube"}, []Ref{cube}); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(n)
+	loaded, err := m2.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded["cube"]
+	if m2.DagSize(got) != m.DagSize(cube) {
+		t.Fatalf("round trip changed size: %d -> %d", m.DagSize(cube), m2.DagSize(got))
+	}
+	// Spot-check semantics without walking 2^n assignments: the all-ones
+	// assignment satisfies the cube, flipping any single bit falsifies it.
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	if !m2.Eval(got, a) {
+		t.Fatal("all-ones assignment no longer satisfies the cube")
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		a[i] = false
+		if m2.Eval(got, a) {
+			t.Fatalf("cube satisfied with variable %d false", i)
+		}
+		a[i] = true
+	}
+	m2.Deref(got)
+	m.Deref(cube)
+}

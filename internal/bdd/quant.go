@@ -55,6 +55,7 @@ func (m *Manager) ForAll(f Ref, vars []int) Ref {
 
 // ForAllCube returns ∀cube. f.
 func (m *Manager) ForAllCube(f, cube Ref) Ref {
+	m.maybeReorder()
 	return m.existsRec(f.Complement(), cube).Complement()
 }
 

@@ -1,6 +1,7 @@
 package bdd
 
 import (
+	"fmt"
 	"sort"
 	"time"
 )
@@ -130,6 +131,51 @@ func (m *Manager) Reorder(method ReorderMethod, cfg SiftConfig) int {
 		observer.Reorder(before, m.liveCount, dur)
 	}
 	return m.liveCount
+}
+
+// SetOrder rearranges the variable order so that order[lev] is the
+// variable index sitting at level lev afterwards. order must be a
+// permutation of 0..NumVars-1. External Refs remain valid, exactly as
+// under Reorder; the computed cache is wholesale-invalidated at the end.
+// Differential tests use this to reload a saved forest under a
+// deliberately different order; clients can use it to restore a known
+// good order.
+func (m *Manager) SetOrder(order []int) error {
+	if len(order) != len(m.vars) {
+		return fmt.Errorf("bdd: SetOrder: %d entries for %d variables", len(order), len(m.vars))
+	}
+	seen := make([]bool, len(order))
+	for _, v := range order {
+		if v < 0 || v >= len(order) || seen[v] {
+			return fmt.Errorf("bdd: SetOrder: not a permutation of 0..%d", len(order)-1)
+		}
+		seen[v] = true
+	}
+	start := time.Now()
+	before := m.liveCount
+	m.gc(false)
+	m.noGC = true
+	defer func() { m.noGC = false }()
+	// Fix levels top-down: bubble each target variable up to its slot
+	// with adjacent swaps (levels above lev are already final).
+	for lev := 0; lev < len(order); lev++ {
+		for cur := int(m.varToLev[order[lev]]); cur > lev; cur-- {
+			m.swapInPlace(cur - 1)
+		}
+	}
+	saved := m.noGC
+	m.noGC = false
+	m.gc(false)
+	m.noGC = saved
+	m.cache.invalidateAll()
+	m.stats.CacheGenerations++
+	m.stats.Reorderings++
+	dur := time.Since(start)
+	m.stats.ReorderTime += dur
+	if observer != nil {
+		observer.Reorder(before, m.liveCount, dur)
+	}
+	return nil
 }
 
 // GarbageCollectDeferred sweeps dead nodes even while noGC blocks

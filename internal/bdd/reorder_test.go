@@ -207,3 +207,47 @@ func randFromTrees(m *Manager, rng *rand.Rand, n, d int) Ref {
 	m.Deref(b)
 	return r
 }
+
+// TestForAllCubeTriggersAutoReorder is the regression test for the missing
+// maybeReorder entry hook: a loop doing nothing but ForAllCube on an
+// over-threshold manager must still trip automatic sifting, like every
+// other public node-creating operation.
+func TestForAllCubeTriggersAutoReorder(t *testing.T) {
+	const k = 6
+	m := New(2 * k)
+	// Build a function whose live count exceeds the threshold while auto
+	// reordering is still off, plus the cubes to quantify, so the only
+	// operation that can possibly trigger a reorder below is ForAllCube.
+	f := Zero
+	for i := 0; i < k; i++ {
+		p := m.And(m.IthVar(i), m.IthVar(k+i))
+		nf := m.Or(f, p)
+		m.Deref(p)
+		m.Deref(f)
+		f = nf
+	}
+	cubes := make([]Ref, k)
+	for i := range cubes {
+		cubes[i] = m.CubeFromVars([]int{i, k + i})
+	}
+	m.EnableAutoReorder(1) // live count is already far above this
+	before := m.Stats().Reorderings
+	for _, cube := range cubes {
+		m.Deref(m.ForAllCube(f, cube))
+	}
+	if m.Stats().Reorderings == before {
+		t.Fatal("ForAllCube never entered maybeReorder on an over-threshold manager")
+	}
+	// The quantification results must be unaffected by the sifting.
+	m.DisableAutoReorder()
+	g := m.ForAllCube(f, cubes[0])
+	want := m.ForAll(f, []int{0, k})
+	if g != want {
+		t.Fatal("ForAllCube result diverges from ForAll over the same variables")
+	}
+	m.Deref(g)
+	m.Deref(want)
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

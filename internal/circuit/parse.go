@@ -55,6 +55,12 @@ func Parse(r io.Reader) (*Netlist, error) {
 			b.nl.Name = strings.TrimSpace(strings.TrimPrefix(line, ".model"))
 		case strings.HasPrefix(line, ".inputs"):
 			for _, name := range strings.Fields(line)[1:] {
+				// The builder panics on duplicate names (a programming
+				// error for generated models); file input is untrusted
+				// and must get an error instead.
+				if _, dup := b.nl.byName[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate signal %q", lineNo, name)
+				}
 				b.Input(name)
 			}
 		case strings.HasPrefix(line, ".latch"):
@@ -69,6 +75,9 @@ func Parse(r io.Reader) (*Netlist, error) {
 				init = true
 			default:
 				return nil, fmt.Errorf("line %d: bad latch init %q", lineNo, f[3])
+			}
+			if _, dup := b.nl.byName[f[1]]; dup {
+				return nil, fmt.Errorf("line %d: duplicate signal %q", lineNo, f[1])
 			}
 			q := b.Latch(f[1], init)
 			pend = append(pend, pendingLatch{q: q, next: f[2]})
@@ -109,6 +118,11 @@ func Parse(r io.Reader) (*Netlist, error) {
 func parseGate(b *Builder, line string, lineNo int) error {
 	eq := strings.Index(line, "=")
 	name := strings.TrimSpace(line[:eq])
+	if name != "" {
+		if _, dup := b.nl.byName[name]; dup {
+			return fmt.Errorf("line %d: duplicate signal %q", lineNo, name)
+		}
+	}
 	rhs := strings.TrimSpace(line[eq+1:])
 	open := strings.Index(rhs, "(")
 	var opName string

@@ -30,21 +30,21 @@ type Attr struct {
 }
 
 // Int, I64, F64, Str, and Bool build attributes.
-func Int(k string, v int) Attr       { return Attr{k, int64(v)} }
-func I64(k string, v int64) Attr     { return Attr{k, v} }
-func F64(k string, v float64) Attr   { return Attr{k, v} }
-func Str(k, v string) Attr           { return Attr{k, v} }
-func Bool(k string, v bool) Attr     { return Attr{k, v} }
+func Int(k string, v int) Attr           { return Attr{k, int64(v)} }
+func I64(k string, v int64) Attr         { return Attr{k, v} }
+func F64(k string, v float64) Attr       { return Attr{k, v} }
+func Str(k, v string) Attr               { return Attr{k, v} }
+func Bool(k string, v bool) Attr         { return Attr{k, v} }
 func Dur(k string, v time.Duration) Attr { return Attr{k, v.Nanoseconds()} }
 
 // Event is the JSONL record written for every span end and instant event.
 type Event struct {
-	TS     string         `json:"ts"`             // RFC3339Nano wall time of emission
-	Kind   string         `json:"kind"`           // "span" or "event"
-	Name   string         `json:"name"`           // dotted phase name, e.g. "reach.iteration"
-	ID     uint64         `json:"id"`             // unique per tracer
-	Parent uint64         `json:"parent"`         // enclosing span id (0 = root)
-	DurNS  int64          `json:"dur_ns"`         // span wall time; 0 for events
+	TS     string         `json:"ts"`                    // RFC3339Nano wall time of emission
+	Kind   string         `json:"kind"`                  // "span" or "event"
+	Name   string         `json:"name"`                  // dotted phase name, e.g. "reach.iteration"
+	ID     uint64         `json:"id"`                    // unique per tracer
+	Parent uint64         `json:"parent"`                // enclosing span id (0 = root)
+	DurNS  int64          `json:"dur_ns"`                // span wall time; 0 for events
 	Nodes0 int            `json:"nodes_start,omitempty"` // live nodes at span begin
 	Nodes1 int            `json:"nodes_end,omitempty"`   // live nodes at span end
 	Delta  int            `json:"nodes_delta,omitempty"` // Nodes1 - Nodes0
@@ -195,10 +195,10 @@ func (t *Tracer) Event(name string, attrs ...Attr) {
 	t.mu.Lock()
 	t.nextID++
 	ev := Event{
-		TS:   time.Now().Format(time.RFC3339Nano),
-		Kind: "event",
-		Name: name,
-		ID:   t.nextID,
+		TS:    time.Now().Format(time.RFC3339Nano),
+		Kind:  "event",
+		Name:  name,
+		ID:    t.nextID,
 		Attrs: attrMap(attrs),
 	}
 	if n := len(t.stack); n > 0 {

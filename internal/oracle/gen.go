@@ -1,0 +1,161 @@
+package oracle
+
+import (
+	"math/rand"
+
+	"bddkit/internal/bdd"
+)
+
+// Random boolean functions for differential testing, adapted from
+// Clément's exhaustive small-n ROBDD enumeration idea: a seeded generator
+// produces expression trees whose semantics are defined independently of
+// the BDD package (Expr.Eval walks the tree), and whose BDD form is built
+// through the public operation API (Expr.Build). Comparing the two is the
+// differential oracle for the kernel.
+
+// ExprKind labels a node of a random expression tree.
+type ExprKind int
+
+const (
+	ExprVar ExprKind = iota // leaf: a literal (variable or its negation)
+	ExprAnd
+	ExprOr
+	ExprXor
+	ExprIte // three-way: if L then R else E
+)
+
+// Expr is a boolean expression tree with reference semantics independent
+// of any BDD machinery.
+type Expr struct {
+	Kind    ExprKind
+	Var     int  // leaf variable index
+	Neg     bool // leaf polarity
+	L, R, E *Expr
+}
+
+// Eval evaluates the expression directly on an assignment (the reference
+// semantics; no BDD code is involved).
+func (e *Expr) Eval(a []bool) bool {
+	switch e.Kind {
+	case ExprVar:
+		v := e.Var < len(a) && a[e.Var]
+		return v != e.Neg
+	case ExprAnd:
+		return e.L.Eval(a) && e.R.Eval(a)
+	case ExprOr:
+		return e.L.Eval(a) || e.R.Eval(a)
+	case ExprXor:
+		return e.L.Eval(a) != e.R.Eval(a)
+	case ExprIte:
+		if e.L.Eval(a) {
+			return e.R.Eval(a)
+		}
+		return e.E.Eval(a)
+	}
+	panic("oracle: bad expression kind")
+}
+
+// Build constructs the BDD of the expression through the public operation
+// API; the caller owns the returned reference.
+func (e *Expr) Build(m *bdd.Manager) bdd.Ref {
+	switch e.Kind {
+	case ExprVar:
+		v := m.Ref(m.IthVar(e.Var))
+		if e.Neg {
+			return v.Complement()
+		}
+		return v
+	case ExprIte:
+		f := e.L.Build(m)
+		g := e.R.Build(m)
+		h := e.E.Build(m)
+		r := m.ITE(f, g, h)
+		m.Deref(f)
+		m.Deref(g)
+		m.Deref(h)
+		return r
+	}
+	l := e.L.Build(m)
+	r := e.R.Build(m)
+	var out bdd.Ref
+	switch e.Kind {
+	case ExprAnd:
+		out = m.And(l, r)
+	case ExprOr:
+		out = m.Or(l, r)
+	case ExprXor:
+		out = m.Xor(l, r)
+	}
+	m.Deref(l)
+	m.Deref(r)
+	return out
+}
+
+// Vars returns the sorted distinct variables mentioned by the expression.
+func (e *Expr) Vars() []int {
+	seen := make(map[int]bool)
+	var walk func(*Expr)
+	walk = func(x *Expr) {
+		if x == nil {
+			return
+		}
+		if x.Kind == ExprVar {
+			seen[x.Var] = true
+			return
+		}
+		walk(x.L)
+		walk(x.R)
+		walk(x.E)
+	}
+	walk(e)
+	vars := make([]int, 0, len(seen))
+	for v := range seen {
+		vars = append(vars, v)
+	}
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j] < vars[j-1]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	return vars
+}
+
+// Gen generates seeded random expressions over a fixed variable count.
+type Gen struct {
+	Rng *rand.Rand
+	N   int // variables are drawn from 0..N-1
+}
+
+// NewGen returns a generator over n variables.
+func NewGen(seed int64, n int) *Gen {
+	return &Gen{Rng: rand.New(rand.NewSource(seed)), N: n}
+}
+
+// Expr returns a random expression tree of the given depth.
+func (g *Gen) Expr(depth int) *Expr {
+	if depth <= 0 {
+		return &Expr{Kind: ExprVar, Var: g.Rng.Intn(g.N), Neg: g.Rng.Intn(2) == 0}
+	}
+	switch g.Rng.Intn(8) {
+	case 0, 1:
+		return &Expr{Kind: ExprAnd, L: g.Expr(depth - 1), R: g.Expr(depth - 1)}
+	case 2, 3:
+		return &Expr{Kind: ExprOr, L: g.Expr(depth - 1), R: g.Expr(depth - 1)}
+	case 4, 5:
+		return &Expr{Kind: ExprXor, L: g.Expr(depth - 1), R: g.Expr(depth - 1)}
+	case 6:
+		return &Expr{Kind: ExprIte, L: g.Expr(depth - 1), R: g.Expr(depth - 1), E: g.Expr(depth - 1)}
+	default:
+		return g.Expr(0)
+	}
+}
+
+// Assignment draws a uniform random assignment over the generator's
+// variables.
+func (g *Gen) Assignment() []bool {
+	a := make([]bool, g.N)
+	for i := range a {
+		a[i] = g.Rng.Intn(2) == 1
+	}
+	return a
+}

@@ -1,0 +1,416 @@
+// Package oracle is the differential-testing and fuzzing harness of the
+// repository: it validates every layer of the stack — the BDD kernel, the
+// approximation algorithms of Section 2 of the paper, the decomposition
+// algorithms of Section 3, serialization, and the reachability engine —
+// against brute-force truth-table semantics.
+//
+// The design follows the semantic-crosscheck idea of Sølvsten & van de
+// Pol's external-memory BDD work (differential validation against a
+// reference evaluator) combined with exhaustive small-n enumeration: any
+// function whose support fits in MaxExhaustiveVars variables is compared
+// on every one of its ≤ 2^16 assignments, and larger functions fall back
+// to seeded random-assignment sampling. Three layers build on this core:
+//
+//   - property checkers (props.go) for the paper's invariants — every
+//     under-approximation implies the original and never grows the DAG,
+//     every decomposition conjoins/disjoins back exactly, save/load
+//     round-trips are semantics-preserving even under a different
+//     variable order, and BFS and high-density traversal reach the same
+//     fixed point;
+//   - a random op-sequence stress driver (stress.go) that shadows every
+//     manager operation with a truth-table interpreter and cross-checks
+//     after each step, with GC, dynamic reordering, and save/load
+//     interleaved;
+//   - native Go fuzz targets (fuzz_test.go) for the untrusted-input
+//     surfaces: the BDD file format, the netlist parser, and byte-driven
+//     ITE sequences.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bddkit/internal/bdd"
+)
+
+// MaxExhaustiveVars is the largest support size checked exhaustively; a
+// function over more variables is checked on random samples instead.
+const MaxExhaustiveVars = 16
+
+// DefaultSamples is the number of random assignments drawn when a check
+// falls back to sampling.
+const DefaultSamples = 4096
+
+// Eval evaluates f under the given assignment by walking the diagram with
+// the public cofactor accessors. It is deliberately a separate code path
+// from bdd.Manager.Eval (which walks structural edges tracking complement
+// parity): the two evaluators crosscheck each other in the oracle's own
+// tests.
+func Eval(m *bdd.Manager, f bdd.Ref, assign []bool) bool {
+	for !f.IsConstant() {
+		v := m.Var(f)
+		if v < len(assign) && assign[v] {
+			f = m.Hi(f)
+		} else {
+			f = m.Lo(f)
+		}
+	}
+	return f == bdd.One
+}
+
+// Table is a brute-force truth table over an explicit variable list:
+// entry i holds the function value under the assignment where variable
+// Vars[j] takes bit j of i and every other variable is false. Tables are
+// the reference semantics the BDD layers are checked against; all
+// combinators are plain bit manipulation with no BDD involvement.
+type Table struct {
+	Vars []int
+	bits []uint64
+}
+
+// NewTable returns an all-false table over the given variables.
+func NewTable(vars []int) Table {
+	if len(vars) > MaxExhaustiveVars {
+		panic(fmt.Sprintf("oracle: table over %d > %d variables", len(vars), MaxExhaustiveVars))
+	}
+	n := 1 << len(vars)
+	return Table{Vars: append([]int(nil), vars...), bits: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of assignments the table covers.
+func (t Table) Len() int { return 1 << len(t.Vars) }
+
+// Get returns the value under assignment index i.
+func (t Table) Get(i int) bool { return t.bits[i>>6]>>(uint(i)&63)&1 == 1 }
+
+// Set sets the value under assignment index i.
+func (t *Table) Set(i int, v bool) {
+	if v {
+		t.bits[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		t.bits[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Assignment expands assignment index i into a dense assignment slice of
+// length nvars (variables outside t.Vars are false).
+func (t Table) Assignment(i, nvars int) []bool {
+	a := make([]bool, nvars)
+	for j, v := range t.Vars {
+		a[v] = i>>uint(j)&1 == 1
+	}
+	return a
+}
+
+// TableOf computes the truth table of f over the given variables by
+// exhaustive evaluation.
+func TableOf(m *bdd.Manager, f bdd.Ref, vars []int) Table {
+	t := NewTable(vars)
+	a := make([]bool, m.NumVars())
+	for i := 0; i < t.Len(); i++ {
+		for j, v := range vars {
+			a[v] = i>>uint(j)&1 == 1
+		}
+		t.Set(i, Eval(m, f, a))
+	}
+	return t
+}
+
+// TableOfFunc computes the truth table of an arbitrary reference function
+// over the given variables; fn receives a dense assignment of nvars values.
+func TableOfFunc(fn func([]bool) bool, vars []int, nvars int) Table {
+	t := NewTable(vars)
+	a := make([]bool, nvars)
+	for i := 0; i < t.Len(); i++ {
+		for j, v := range vars {
+			a[v] = i>>uint(j)&1 == 1
+		}
+		t.Set(i, fn(a))
+	}
+	return t
+}
+
+// binop applies a pointwise combinator; both tables must share Vars.
+func (t Table) binop(u Table, f func(a, b uint64) uint64) Table {
+	t.mustMatch(u)
+	r := NewTable(t.Vars)
+	for i := range r.bits {
+		r.bits[i] = f(t.bits[i], u.bits[i])
+	}
+	r.maskTail()
+	return r
+}
+
+func (t Table) mustMatch(u Table) {
+	if len(t.Vars) != len(u.Vars) {
+		panic("oracle: table variable lists differ")
+	}
+	for i := range t.Vars {
+		if t.Vars[i] != u.Vars[i] {
+			panic("oracle: table variable lists differ")
+		}
+	}
+}
+
+// maskTail clears the bits beyond Len() so word-level comparisons work.
+func (t Table) maskTail() {
+	n := t.Len()
+	if n&63 != 0 {
+		t.bits[len(t.bits)-1] &= 1<<(uint(n)&63) - 1
+	}
+}
+
+// And returns the pointwise conjunction.
+func (t Table) And(u Table) Table { return t.binop(u, func(a, b uint64) uint64 { return a & b }) }
+
+// Or returns the pointwise disjunction.
+func (t Table) Or(u Table) Table { return t.binop(u, func(a, b uint64) uint64 { return a | b }) }
+
+// Xor returns the pointwise exclusive or.
+func (t Table) Xor(u Table) Table { return t.binop(u, func(a, b uint64) uint64 { return a ^ b }) }
+
+// Not returns the pointwise complement.
+func (t Table) Not() Table {
+	r := NewTable(t.Vars)
+	for i := range r.bits {
+		r.bits[i] = ^t.bits[i]
+	}
+	r.maskTail()
+	return r
+}
+
+// Ite returns pointwise if-t-then-u-else-v.
+func (t Table) Ite(u, v Table) Table {
+	t.mustMatch(u)
+	t.mustMatch(v)
+	r := NewTable(t.Vars)
+	for i := range r.bits {
+		r.bits[i] = t.bits[i]&u.bits[i] | ^t.bits[i]&v.bits[i]
+	}
+	r.maskTail()
+	return r
+}
+
+// varPos returns the position of variable v in t.Vars, or -1.
+func (t Table) varPos(v int) int {
+	for j, w := range t.Vars {
+		if w == v {
+			return j
+		}
+	}
+	return -1
+}
+
+// Quant existentially (forall=false) or universally (forall=true)
+// quantifies variable v: the result no longer depends on v but keeps the
+// same variable list.
+func (t Table) Quant(v int, forall bool) Table {
+	j := t.varPos(v)
+	if j < 0 {
+		return t
+	}
+	r := NewTable(t.Vars)
+	bit := 1 << uint(j)
+	for i := 0; i < t.Len(); i++ {
+		a, b := t.Get(i|bit), t.Get(i&^bit)
+		if forall {
+			r.Set(i, a && b)
+		} else {
+			r.Set(i, a || b)
+		}
+	}
+	return r
+}
+
+// Compose substitutes function g for variable v: result(a) = t(a[v←g(a)]).
+func (t Table) Compose(v int, g Table) Table {
+	t.mustMatch(g)
+	j := t.varPos(v)
+	if j < 0 {
+		return t
+	}
+	r := NewTable(t.Vars)
+	bit := 1 << uint(j)
+	for i := 0; i < t.Len(); i++ {
+		if g.Get(i) {
+			r.Set(i, t.Get(i|bit))
+		} else {
+			r.Set(i, t.Get(i&^bit))
+		}
+	}
+	return r
+}
+
+// Equal reports whether two tables agree on every assignment, returning a
+// counterexample index otherwise.
+func (t Table) Equal(u Table) (int, bool) {
+	t.mustMatch(u)
+	for i := range t.bits {
+		if d := t.bits[i] ^ u.bits[i]; d != 0 {
+			base := i * 64
+			for b := 0; b < 64; b++ {
+				if d>>uint(b)&1 == 1 {
+					return base + b, false
+				}
+			}
+		}
+	}
+	return 0, true
+}
+
+// Checker compares functions against brute-force semantics: exhaustively
+// when the joint support fits in MaxExhaustiveVars variables, otherwise on
+// a seeded random sample of assignments. The zero value is not ready;
+// use NewChecker.
+type Checker struct {
+	// Rng drives the sampling fallback; seeding it makes failures
+	// reproducible.
+	Rng *rand.Rand
+	// Samples is the number of random assignments drawn per check when
+	// sampling.
+	Samples int
+}
+
+// NewChecker returns a Checker with a seeded sampling fallback.
+func NewChecker(seed int64) *Checker {
+	return &Checker{Rng: rand.New(rand.NewSource(seed)), Samples: DefaultSamples}
+}
+
+// jointSupport returns the sorted union of the supports of the given
+// functions.
+func jointSupport(m *bdd.Manager, fs ...bdd.Ref) []int {
+	seen := make(map[int]bool)
+	var vars []int
+	for _, f := range fs {
+		for _, v := range m.SupportVars(f) {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j] < vars[j-1]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	return vars
+}
+
+// forEachAssignment runs fn on every assignment of vars (exhaustive mode)
+// or on c.Samples random assignments (sampling mode). fn returns false to
+// stop early.
+func (c *Checker) forEachAssignment(vars []int, nvars int, fn func(a []bool) bool) {
+	a := make([]bool, nvars)
+	if len(vars) <= MaxExhaustiveVars {
+		for i := 0; i < 1<<len(vars); i++ {
+			for j, v := range vars {
+				a[v] = i>>uint(j)&1 == 1
+			}
+			if !fn(a) {
+				return
+			}
+		}
+		return
+	}
+	for s := 0; s < c.Samples; s++ {
+		for _, v := range vars {
+			a[v] = c.Rng.Intn(2) == 1
+		}
+		if !fn(a) {
+			return
+		}
+	}
+}
+
+// formatAssignment renders a counterexample assignment restricted to vars.
+func formatAssignment(a []bool, vars []int) string {
+	var b strings.Builder
+	for _, v := range vars {
+		val := 0
+		if a[v] {
+			val = 1
+		}
+		fmt.Fprintf(&b, "x%d=%d ", v, val)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Equal checks f ≡ g against brute-force evaluation and returns an error
+// carrying a counterexample assignment on disagreement.
+func (c *Checker) Equal(m *bdd.Manager, f, g bdd.Ref) error {
+	vars := jointSupport(m, f, g)
+	var err error
+	c.forEachAssignment(vars, m.NumVars(), func(a []bool) bool {
+		if Eval(m, f, a) != Eval(m, g, a) {
+			err = fmt.Errorf("oracle: functions differ at %s", formatAssignment(a, vars))
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// Implies checks f ⇒ g against brute-force evaluation.
+func (c *Checker) Implies(m *bdd.Manager, f, g bdd.Ref) error {
+	vars := jointSupport(m, f, g)
+	var err error
+	c.forEachAssignment(vars, m.NumVars(), func(a []bool) bool {
+		if Eval(m, f, a) && !Eval(m, g, a) {
+			err = fmt.Errorf("oracle: implication fails at %s", formatAssignment(a, vars))
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// EqualFunc checks a BDD against an arbitrary reference function over the
+// given variables — the differential core: fn is evaluated directly (for
+// example on an expression tree), never through the BDD package.
+func (c *Checker) EqualFunc(m *bdd.Manager, f bdd.Ref, fn func([]bool) bool, vars []int) error {
+	var err error
+	c.forEachAssignment(vars, m.NumVars(), func(a []bool) bool {
+		want := fn(a)
+		if got := Eval(m, f, a); got != want {
+			err = fmt.Errorf("oracle: BDD=%v reference=%v at %s", got, want, formatAssignment(a, vars))
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// EqualAcross checks that f1 under m1 and f2 under m2 denote the same
+// function of the shared variable indices — the property a save/load
+// round-trip must preserve even when the two managers order the variables
+// differently.
+func (c *Checker) EqualAcross(m1 *bdd.Manager, f1 bdd.Ref, m2 *bdd.Manager, f2 bdd.Ref) error {
+	vars := jointSupport(m1, f1)
+	for _, v := range jointSupport(m2, f2) {
+		found := false
+		for _, w := range vars {
+			if v == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			vars = append(vars, v)
+		}
+	}
+	nvars := m1.NumVars()
+	if n2 := m2.NumVars(); n2 > nvars {
+		nvars = n2
+	}
+	var err error
+	c.forEachAssignment(vars, nvars, func(a []bool) bool {
+		if Eval(m1, f1, a) != Eval(m2, f2, a) {
+			err = fmt.Errorf("oracle: managers disagree at %s", formatAssignment(a, vars))
+			return false
+		}
+		return true
+	})
+	return err
+}

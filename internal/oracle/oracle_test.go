@@ -1,0 +1,162 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"bddkit/internal/bdd"
+)
+
+// TestEvaluatorsAgree: the oracle's evaluator and the kernel's Eval are
+// independent code paths; they must agree on random functions under random
+// assignments (a differential test of the evaluators themselves).
+func TestEvaluatorsAgree(t *testing.T) {
+	const n = 12
+	m := bdd.New(n)
+	g := NewGen(101, n)
+	for iter := 0; iter < 50; iter++ {
+		e := g.Expr(5)
+		f := e.Build(m)
+		for s := 0; s < 200; s++ {
+			a := g.Assignment()
+			if Eval(m, f, a) != m.Eval(f, a) {
+				t.Fatalf("oracle and kernel evaluators disagree (iter %d)", iter)
+			}
+		}
+		m.Deref(f)
+	}
+}
+
+// TestBDDMatchesExpr: the differential core — a BDD built through the
+// operation API must realize exactly the semantics of the expression tree
+// it was built from, on every assignment.
+func TestBDDMatchesExpr(t *testing.T) {
+	const n = 10
+	m := bdd.New(n)
+	g := NewGen(202, n)
+	c := NewChecker(303)
+	for iter := 0; iter < 100; iter++ {
+		e := g.Expr(6)
+		f := e.Build(m)
+		if err := c.EqualFunc(m, f, e.Eval, e.Vars()); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		m.Deref(f)
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableCombinators: the shadow-table algebra agrees with tables
+// recomputed from the BDD results.
+func TestTableCombinators(t *testing.T) {
+	const n = 8
+	m := bdd.New(n)
+	g := NewGen(404, n)
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	rng := rand.New(rand.NewSource(505))
+	for iter := 0; iter < 40; iter++ {
+		ea, eb := g.Expr(4), g.Expr(4)
+		fa, fb := ea.Build(m), eb.Build(m)
+		ta, tb := TableOf(m, fa, vars), TableOf(m, fb, vars)
+
+		and := m.And(fa, fb)
+		if i, ok := ta.And(tb).Equal(TableOf(m, and, vars)); !ok {
+			t.Fatalf("iter %d: And tables differ at %d", iter, i)
+		}
+		m.Deref(and)
+
+		xor := m.Xor(fa, fb)
+		if i, ok := ta.Xor(tb).Equal(TableOf(m, xor, vars)); !ok {
+			t.Fatalf("iter %d: Xor tables differ at %d", iter, i)
+		}
+		m.Deref(xor)
+
+		v := rng.Intn(n)
+		ex := m.Exists(fa, []int{v})
+		if i, ok := ta.Quant(v, false).Equal(TableOf(m, ex, vars)); !ok {
+			t.Fatalf("iter %d: Exists tables differ at %d", iter, i)
+		}
+		m.Deref(ex)
+
+		fa2 := m.ForAll(fa, []int{v})
+		if i, ok := ta.Quant(v, true).Equal(TableOf(m, fa2, vars)); !ok {
+			t.Fatalf("iter %d: ForAll tables differ at %d", iter, i)
+		}
+		m.Deref(fa2)
+
+		co := m.Compose(fa, v, fb)
+		if i, ok := ta.Compose(v, tb).Equal(TableOf(m, co, vars)); !ok {
+			t.Fatalf("iter %d: Compose tables differ at %d", iter, i)
+		}
+		m.Deref(co)
+
+		m.Deref(fa)
+		m.Deref(fb)
+	}
+}
+
+// TestCheckerDetectsDifference: the oracle must actually flag functions
+// that differ (a sanity test that the harness can fail).
+func TestCheckerDetectsDifference(t *testing.T) {
+	m := bdd.New(4)
+	c := NewChecker(1)
+	x0, x1 := m.IthVar(0), m.IthVar(1)
+	f := m.And(x0, x1)
+	g := m.Or(x0, x1)
+	if err := c.Equal(m, f, g); err == nil {
+		t.Fatal("oracle failed to distinguish AND from OR")
+	}
+	if err := c.Implies(m, g, f); err == nil {
+		t.Fatal("oracle failed to refute OR ⇒ AND")
+	}
+	if err := c.Implies(m, f, g); err != nil {
+		t.Fatalf("AND ⇒ OR should hold: %v", err)
+	}
+	m.Deref(f)
+	m.Deref(g)
+}
+
+// TestGenDeterminism: equal seeds must generate equal expressions — the
+// reproducibility contract every failure report relies on.
+func TestGenDeterminism(t *testing.T) {
+	m := bdd.New(10)
+	g1 := NewGen(42, 10)
+	g2 := NewGen(42, 10)
+	for i := 0; i < 20; i++ {
+		f1 := g1.Expr(6).Build(m)
+		f2 := g2.Expr(6).Build(m)
+		if f1 != f2 {
+			t.Fatalf("iteration %d: same seed, different functions", i)
+		}
+		m.Deref(f1)
+		m.Deref(f2)
+	}
+}
+
+// TestSamplingFallback: joint supports beyond MaxExhaustiveVars take the
+// sampling path and still detect planted differences.
+func TestSamplingFallback(t *testing.T) {
+	const n = MaxExhaustiveVars + 8
+	m := bdd.New(n)
+	c := NewChecker(7)
+	// f = x0 ⊕ x1 ⊕ ... over all n variables: wide support, and any
+	// single-bit perturbation flips every assignment's value.
+	f := m.Ref(bdd.Zero)
+	for i := 0; i < n; i++ {
+		nf := m.Xor(f, m.IthVar(i))
+		m.Deref(f)
+		f = nf
+	}
+	if err := c.Equal(m, f, f); err != nil {
+		t.Fatalf("self-equality under sampling: %v", err)
+	}
+	if err := c.Equal(m, f, f.Complement()); err == nil {
+		t.Fatal("sampling failed to distinguish f from ¬f")
+	}
+	m.Deref(f)
+}

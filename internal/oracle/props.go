@@ -1,0 +1,254 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+
+	"bddkit/internal/approx"
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+	"bddkit/internal/decomp"
+	"bddkit/internal/reach"
+)
+
+// Property checkers wiring the truth-table oracle to the paper's
+// invariants. Each checker returns nil when the property holds and an
+// error naming the violated invariant (with a counterexample assignment
+// where one exists) otherwise, so tests and the stress driver can share
+// them.
+
+// ApproxMethod names one of the paper's subset algorithms and how to run
+// it; the returned reference is owned by the caller.
+type ApproxMethod struct {
+	Name string
+	Run  func(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref
+}
+
+// ApproxMethods enumerates all six approximation methods of Section 2
+// with the parameter settings used by the paper's experiments (quality 1
+// for the remap family, balanced alpha for UA).
+func ApproxMethods() []ApproxMethod {
+	return []ApproxMethod{
+		{"RUA", func(m *bdd.Manager, f bdd.Ref, th int) bdd.Ref { return approx.RemapUnderApprox(m, f, th, 1.0) }},
+		{"HB", func(m *bdd.Manager, f bdd.Ref, th int) bdd.Ref { return approx.HeavyBranch(m, f, th) }},
+		{"SP", func(m *bdd.Manager, f bdd.Ref, th int) bdd.Ref { return approx.ShortPaths(m, f, th) }},
+		{"UA", func(m *bdd.Manager, f bdd.Ref, th int) bdd.Ref { return approx.UnderApprox(m, f, th, 0.5) }},
+		{"C1", func(m *bdd.Manager, f bdd.Ref, th int) bdd.Ref { return approx.Compound1(m, f, th, 1.0) }},
+		{"C2", func(m *bdd.Manager, f bdd.Ref, th int) bdd.Ref { return approx.Compound2(m, f, th, 1.0) }},
+	}
+}
+
+// CheckUnderApprox validates the two safety invariants every
+// under-approximation must satisfy (Section 2 of the paper): sub ⇒ f
+// checked both against brute-force semantics and the structural Leq, and
+// |sub| ≤ |f| (a subset that grew the DAG defeats its purpose).
+func (c *Checker) CheckUnderApprox(m *bdd.Manager, f, sub bdd.Ref, name string) error {
+	if err := c.Implies(m, sub, f); err != nil {
+		return fmt.Errorf("%s: not an under-approximation: %w", name, err)
+	}
+	if !m.Leq(sub, f) {
+		return fmt.Errorf("%s: oracle accepts sub ⇒ f but structural Leq rejects it", name)
+	}
+	if ns, nf := m.DagSize(sub), m.DagSize(f); ns > nf {
+		return fmt.Errorf("%s: subset has %d nodes > original %d", name, ns, nf)
+	}
+	return nil
+}
+
+// CheckApproxMethods runs every approximation method on f at the given
+// threshold and validates the safety invariants of each result.
+func (c *Checker) CheckApproxMethods(m *bdd.Manager, f bdd.Ref, threshold int) error {
+	for _, am := range ApproxMethods() {
+		sub := am.Run(m, f, threshold)
+		err := c.CheckUnderApprox(m, f, sub, am.Name)
+		m.Deref(sub)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckConjPair validates an exact conjunctive recomposition: G ∧ H must
+// rebuild f — structurally (canonical Refs must be identical) and against
+// brute-force semantics.
+func (c *Checker) CheckConjPair(m *bdd.Manager, f bdd.Ref, p decomp.Pair, name string) error {
+	r := m.And(p.G, p.H)
+	defer m.Deref(r)
+	if r != f {
+		return fmt.Errorf("%s: G∧H is not structurally f", name)
+	}
+	if err := c.Equal(m, r, f); err != nil {
+		return fmt.Errorf("%s: G∧H differs from f: %w", name, err)
+	}
+	return nil
+}
+
+// CheckDisjPair validates an exact disjunctive recomposition G ∨ H = f.
+func (c *Checker) CheckDisjPair(m *bdd.Manager, f bdd.Ref, p decomp.Pair, name string) error {
+	r := m.Or(p.G, p.H)
+	defer m.Deref(r)
+	if r != f {
+		return fmt.Errorf("%s: G∨H is not structurally f", name)
+	}
+	if err := c.Equal(m, r, f); err != nil {
+		return fmt.Errorf("%s: G∨H differs from f: %w", name, err)
+	}
+	return nil
+}
+
+// CheckDecompSelectors runs all four decomposition-point selectors of
+// Section 3 — Band, Disjoint, the Cofactor baseline, and McMillan's
+// canonical conjunctive decomposition — plus the disjunctive duals, and
+// validates exact recomposition for each.
+func (c *Checker) CheckDecompSelectors(m *bdd.Manager, f bdd.Ref) error {
+	band := decomp.BandPoints(m, f, decomp.DefaultBandConfig())
+	p := decomp.Decompose(m, f, band)
+	if err := c.CheckConjPair(m, f, p, "Band"); err != nil {
+		p.Deref(m)
+		return err
+	}
+	p.Deref(m)
+	p = decomp.DecomposeDisjunctive(m, f, decomp.BandPoints(m, f.Complement(), decomp.DefaultBandConfig()))
+	if err := c.CheckDisjPair(m, f, p, "Band-disjunctive"); err != nil {
+		p.Deref(m)
+		return err
+	}
+	p.Deref(m)
+
+	disj := decomp.DisjointPoints(m, f, decomp.DefaultDisjointConfig())
+	p = decomp.Decompose(m, f, disj)
+	if err := c.CheckConjPair(m, f, p, "Disjoint"); err != nil {
+		p.Deref(m)
+		return err
+	}
+	p.Deref(m)
+
+	p = decomp.Cofactor(m, f)
+	if err := c.CheckConjPair(m, f, p, "Cofactor"); err != nil {
+		p.Deref(m)
+		return err
+	}
+	p.Deref(m)
+	p = decomp.CofactorDisjunctive(m, f)
+	if err := c.CheckDisjPair(m, f, p, "Cofactor-disjunctive"); err != nil {
+		p.Deref(m)
+		return err
+	}
+	p.Deref(m)
+
+	factors := decomp.McMillan(m, f)
+	conj := decomp.ConjoinAll(m, factors)
+	err := func() error {
+		if conj != f {
+			return fmt.Errorf("McMillan: conjunction of %d factors is not structurally f", len(factors))
+		}
+		return c.Equal(m, conj, f)
+	}()
+	m.Deref(conj)
+	for _, fi := range factors {
+		m.Deref(fi)
+	}
+	return err
+}
+
+// reverseOrder is the scramble applied by CheckRoundTrip: the destination
+// manager puts the variables in exactly the opposite order of the source.
+func reverseOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	return order
+}
+
+// CheckRoundTrip validates Save/Load: the forest is serialized, reloaded
+// into a fresh manager whose variable order has been reversed (the format
+// is declared order-independent, so this must still reconstruct the same
+// functions), and every root is compared across managers against
+// brute-force semantics. The forest is also reloaded into the source
+// manager, where canonicity demands bit-identical Refs.
+func (c *Checker) CheckRoundTrip(m *bdd.Manager, names []string, roots []bdd.Ref) error {
+	var buf bytes.Buffer
+	if err := m.Save(&buf, names, roots); err != nil {
+		return fmt.Errorf("save: %w", err)
+	}
+	data := buf.Bytes()
+
+	m2 := bdd.New(m.NumVars())
+	if m2.NumVars() > 1 {
+		if err := m2.SetOrder(reverseOrder(m2.NumVars())); err != nil {
+			return err
+		}
+	}
+	loaded, err := m2.Load(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("load into reversed-order manager: %w", err)
+	}
+	for i, name := range names {
+		g, ok := loaded[name]
+		if !ok {
+			return fmt.Errorf("root %q lost in round trip", name)
+		}
+		if err := c.EqualAcross(m, roots[i], m2, g); err != nil {
+			return fmt.Errorf("root %q: %w", name, err)
+		}
+	}
+	for _, g := range loaded {
+		m2.Deref(g)
+	}
+	if err := m2.DebugCheck(); err != nil {
+		return fmt.Errorf("destination manager corrupt after load: %w", err)
+	}
+
+	reloaded, err := m.Load(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("reload into source manager: %w", err)
+	}
+	for i, name := range names {
+		if g := reloaded[name]; g != roots[i] {
+			for _, h := range reloaded {
+				m.Deref(h)
+			}
+			return fmt.Errorf("root %q: reload into source manager broke canonicity", name)
+		}
+	}
+	for _, g := range reloaded {
+		m.Deref(g)
+	}
+	return nil
+}
+
+// CheckReachFixedPoint runs BFS and high-density traversal on the same
+// compiled circuit and validates that both reach the identical fixed
+// point: bit-identical reached sets (one shared manager makes canonical
+// equality exact), equal state counts, and brute-force-equal semantics.
+func (c *Checker) CheckReachFixedPoint(cmp *circuit.Compiled, subset reach.Subsetter, threshold int) error {
+	tr, err := reach.NewTR(cmp, reach.DefaultTROptions())
+	if err != nil {
+		return err
+	}
+	defer tr.Release()
+	m := cmp.M
+
+	bfs := tr.BFS(cmp.Init, reach.Options{})
+	defer m.Deref(bfs.Reached)
+	if !bfs.Completed {
+		return fmt.Errorf("BFS did not converge")
+	}
+	hd := tr.HighDensity(cmp.Init, reach.Options{Subset: subset, Threshold: threshold})
+	defer m.Deref(hd.Reached)
+	if !hd.Completed {
+		return fmt.Errorf("high-density traversal did not converge")
+	}
+	if bfs.Reached != hd.Reached {
+		return fmt.Errorf("BFS and high-density reached sets are not structurally equal")
+	}
+	if bfs.States != hd.States {
+		return fmt.Errorf("state counts differ: BFS %v vs HD %v", bfs.States, hd.States)
+	}
+	if err := c.Equal(m, bfs.Reached, hd.Reached); err != nil {
+		return fmt.Errorf("reached sets differ semantically: %w", err)
+	}
+	return nil
+}

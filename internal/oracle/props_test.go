@@ -1,0 +1,225 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+	"bddkit/internal/reach"
+)
+
+// TestApproxSafetyOracle is the table-driven safety sweep demanded by the
+// paper's Section 2 invariants: across ≥200 seeded random functions and
+// several thresholds, every one of the six approximation methods must
+// return a subset (oracle-checked implication) that never grows the DAG.
+func TestApproxSafetyOracle(t *testing.T) {
+	cases := []struct {
+		name  string
+		seed  int64
+		vars  int
+		depth int
+		funcs int
+	}{
+		{"small-dense", 11, 8, 5, 70},
+		{"mid", 22, 12, 6, 70},
+		{"wide", 33, 14, 7, 60},
+	}
+	thresholds := []int{0, 4, 16, 64}
+	total := 0
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := bdd.New(tc.vars)
+			g := NewGen(tc.seed, tc.vars)
+			c := NewChecker(tc.seed + 1)
+			for i := 0; i < tc.funcs; i++ {
+				f := g.Expr(tc.depth).Build(m)
+				for _, th := range thresholds {
+					if err := c.CheckApproxMethods(m, f, th); err != nil {
+						t.Fatalf("function %d threshold %d: %v", i, th, err)
+					}
+				}
+				m.Deref(f)
+			}
+			if err := m.DebugCheck(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		total += tc.funcs
+	}
+	if total < 200 {
+		t.Fatalf("sweep covers %d functions, want ≥ 200", total)
+	}
+}
+
+// TestDecompRecompositionOracle: every decomposition selector must
+// recompose exactly — structurally and against truth-table semantics —
+// on seeded random functions.
+func TestDecompRecompositionOracle(t *testing.T) {
+	const n = 12
+	m := bdd.New(n)
+	g := NewGen(77, n)
+	c := NewChecker(78)
+	for i := 0; i < 80; i++ {
+		f := g.Expr(6).Build(m)
+		if err := c.CheckDecompSelectors(m, f); err != nil {
+			t.Fatalf("function %d: %v", i, err)
+		}
+		m.Deref(f)
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripDifferentOrder: serialization must survive reloading under
+// a reversed variable order (the format is order-independent) and reloads
+// into the source manager must be canonical.
+func TestRoundTripDifferentOrder(t *testing.T) {
+	const n = 11
+	m := bdd.New(n)
+	g := NewGen(88, n)
+	c := NewChecker(89)
+	for i := 0; i < 30; i++ {
+		names := make([]string, 3)
+		roots := make([]bdd.Ref, 3)
+		for j := range roots {
+			names[j] = fmt.Sprintf("f%d", j)
+			roots[j] = g.Expr(5).Build(m)
+		}
+		if err := c.CheckRoundTrip(m, names, roots); err != nil {
+			t.Fatalf("forest %d: %v", i, err)
+		}
+		for _, r := range roots {
+			m.Deref(r)
+		}
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetOrderPreservesSemantics: SetOrder is the order scrambler the
+// round-trip check depends on; it must keep every external Ref denoting
+// the same function.
+func TestSetOrderPreservesSemantics(t *testing.T) {
+	const n = 10
+	m := bdd.New(n)
+	g := NewGen(99, n)
+	c := NewChecker(100)
+	var fs []bdd.Ref
+	var tabs []Table
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	for i := 0; i < 8; i++ {
+		f := g.Expr(5).Build(m)
+		fs = append(fs, f)
+		tabs = append(tabs, TableOf(m, f, vars))
+	}
+	if err := m.SetOrder(reverseOrder(n)); err != nil {
+		t.Fatal(err)
+	}
+	for lev := 0; lev < n; lev++ {
+		if got, want := m.VarAtLevel(lev), n-1-lev; got != want {
+			t.Fatalf("level %d holds variable %d, want %d", lev, got, want)
+		}
+	}
+	for i, f := range fs {
+		if idx, ok := tabs[i].Equal(TableOf(m, f, vars)); !ok {
+			t.Fatalf("function %d changed at assignment %d after SetOrder", i, idx)
+		}
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// A second scramble back to identity must also round-trip.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if err := m.SetOrder(order); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fs {
+		if idx, ok := tabs[i].Equal(TableOf(m, f, vars)); !ok {
+			t.Fatalf("function %d changed at assignment %d after restoring order", i, idx)
+		}
+		m.Deref(f)
+	}
+	if err := c.Equal(m, bdd.One, bdd.One); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// counterNetlist builds the k-bit enabled counter used across the repo's
+// reachability tests.
+func counterNetlist(k int) *circuit.Netlist {
+	b := circuit.NewBuilder("counter")
+	en := b.Input("en")
+	q := b.LatchBus("q", k, 0)
+	inc, _ := b.Incrementer(q)
+	next := b.MuxBus(en, inc, q)
+	b.SetNextBus(q, next)
+	b.Output("tc", b.EqConst(q, uint64(1<<uint(k)-1)))
+	return b.MustBuild()
+}
+
+// lfsrNetlist builds a k-bit linear feedback shift register with an
+// enable input — a sequential circuit whose reachable set is not an
+// interval, unlike the counter's.
+func lfsrNetlist(k int) *circuit.Netlist {
+	b := circuit.NewBuilder("lfsr")
+	en := b.Input("en")
+	q := b.LatchBus("q", k, 1)
+	fb := b.Xor(q[0], q[k-1])
+	shifted := make([]circuit.Sig, k)
+	for i := 0; i < k-1; i++ {
+		shifted[i] = q[i+1]
+	}
+	shifted[k-1] = fb
+	next := b.MuxBus(en, shifted, q)
+	b.SetNextBus(q, next)
+	b.Output("z", q[0])
+	return b.MustBuild()
+}
+
+// TestReachFixedPointOracle: BFS and high-density traversal must agree on
+// the exact fixed point for every subsetter, on two different circuit
+// shapes.
+func TestReachFixedPointOracle(t *testing.T) {
+	subsetters := map[string]reach.Subsetter{
+		"rua": reach.RUASubsetter(1.0),
+		"sp":  reach.SPSubsetter(),
+		"hb":  reach.HBSubsetter(),
+	}
+	nets := map[string]*circuit.Netlist{
+		"counter5": counterNetlist(5),
+		"lfsr5":    lfsrNetlist(5),
+	}
+	for nname, nl := range nets {
+		for sname, sub := range subsetters {
+			t.Run(nname+"/"+sname, func(t *testing.T) {
+				cmp, err := circuit.Compile(nl, circuit.CompileOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cmp.Release()
+				c := NewChecker(123)
+				for _, th := range []int{0, 8, 30} {
+					if err := c.CheckReachFixedPoint(cmp, sub, th); err != nil {
+						t.Fatalf("threshold %d: %v", th, err)
+					}
+				}
+				if err := cmp.M.DebugCheck(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

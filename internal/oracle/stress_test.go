@@ -1,0 +1,63 @@
+package oracle
+
+import "testing"
+
+// TestStress1000Steps is the acceptance run of the op-sequence driver:
+// 1000 seeded steps with GC, dynamic reordering, and save/load round trips
+// interleaved, DebugCheck after every step, and reference accounting at
+// the end. The Makefile also runs this package under -race.
+func TestStress1000Steps(t *testing.T) {
+	res, err := RunStress(StressConfig{Seed: 1, Steps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1000 {
+		t.Fatalf("ran %d steps, want 1000", res.Steps)
+	}
+	// The run is only meaningful if the lifecycle events actually fired.
+	if res.GCs == 0 {
+		t.Fatal("no garbage collection happened during the stress run")
+	}
+	if res.Reorderings == 0 {
+		t.Fatal("no reordering happened during the stress run")
+	}
+	for _, op := range []string{"ite", "exists", "compose", "saveload"} {
+		if res.Ops[op] == 0 {
+			t.Fatalf("operation %q never executed in 1000 steps", op)
+		}
+	}
+}
+
+// TestStressSeeds runs shorter sweeps across several seeds so a latent
+// ordering- or GC-dependent bug has more distinct schedules to hide in.
+func TestStressSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed stress skipped in -short mode")
+	}
+	for seed := int64(2); seed <= 6; seed++ {
+		if _, err := RunStress(StressConfig{Seed: seed, Steps: 300, Vars: 8}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestStressDeterminism: identical configurations must perform the exact
+// same operation mix — the reproducibility a fuzz-failure report needs.
+func TestStressDeterminism(t *testing.T) {
+	a, err := RunStress(StressConfig{Seed: 9, Steps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStress(StressConfig{Seed: 9, Steps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("op mixes differ: %v vs %v", a.Ops, b.Ops)
+	}
+	for op, n := range a.Ops {
+		if b.Ops[op] != n {
+			t.Fatalf("op %q ran %d vs %d times under the same seed", op, n, b.Ops[op])
+		}
+	}
+}

@@ -23,8 +23,13 @@ build:
 test:
 	$(GO) test ./...
 
+## race: the memory-model half of the parallel-engine checks — the BDD
+## core's own tests, the oracle differential + concurrent stress drivers
+## (several clients hammering one Workers=4 manager while GC and
+## reordering fire), and the parallel image path in reach.
 race:
 	$(GO) test -race -count=1 ./internal/bdd ./internal/oracle
+	$(GO) test -race -count=1 -run Parallel ./internal/reach
 
 ## fuzz-smoke: run each native fuzz target briefly ($(FUZZTIME) apiece) on
 ## top of its checked-in seed corpus under testdata/fuzz/. This is a smoke

@@ -7,6 +7,7 @@ package bddkit_test
 // in EXPERIMENTS.md come from `go run ./cmd/tables -paper`.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -40,16 +41,36 @@ func sharedCorpus(b *testing.B) []bench.Fn {
 }
 
 // BenchmarkTable1Reachability regenerates Table 1 (BFS vs HD+RUA vs HD+SP)
-// at test scale.
+// at test scale. The managers are created inside RunTable1, so the worker
+// count is plumbed through the package default; -cpu 1,4 then compares the
+// serial engine against the work-stealing one.
 func BenchmarkTable1Reachability(b *testing.B) {
+	bdd.SetDefaultWorkers(runtime.GOMAXPROCS(0))
+	defer bdd.SetDefaultWorkers(1)
+	var rows []bench.Table1Row
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.RunTable1(bench.Table1Small())
+		var err error
+		rows, err = bench.RunTable1(bench.Table1Small())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
+	}
+	peak, hits, n := 0, 0.0, 0
+	for _, r := range rows {
+		for _, mr := range []bench.MethodResult{r.BFS, r.RUA, r.SP} {
+			if mr.PeakNodes > peak {
+				peak = mr.PeakNodes
+			}
+			hits += mr.CacheHit
+			n++
+		}
+	}
+	b.ReportMetric(float64(peak), "peak-live-nodes")
+	if n > 0 {
+		b.ReportMetric(hits/float64(n), "cache-hit-rate")
 	}
 }
 
@@ -119,14 +140,33 @@ func buildMultiplierBit(b *testing.B, n, bit int) (*bdd.Manager, bdd.Ref, func()
 	return c.M, c.Outputs[bit], c.Release
 }
 
+// BenchmarkITEMultiplier measures one hard ITE on a multiplier output bit.
+// The computed table is cleared every iteration so each one redoes the full
+// recursion (otherwise iteration 2 onward is a single cache probe), and the
+// manager runs with GOMAXPROCS workers so -cpu 1,4 contrasts the serial and
+// work-stealing engines on identical work.
 func BenchmarkITEMultiplier(b *testing.B) {
-	m, f, done := buildMultiplierBit(b, 8, 8)
-	defer done()
-	g := m.IthVar(3)
+	nl := model.MultiplierNetlist(8)
+	cfg := bdd.DefaultConfig()
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	c, err := circuit.Compile(nl, circuit.CompileOptions{SkipNextVars: true, BDDConfig: &cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Release()
+	m := c.M
+	f, g, h := c.Outputs[8], c.Outputs[7], c.Outputs[6]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := m.ITE(g, f, f.Complement())
+		m.ClearCache()
+		r := m.ITE(f, g, h)
 		m.Deref(r)
+	}
+	b.StopTimer()
+	st := m.Stats()
+	b.ReportMetric(float64(st.PeakLive), "peak-live-nodes")
+	if st.CacheLookups > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(st.CacheLookups), "cache-hit-rate")
 	}
 }
 

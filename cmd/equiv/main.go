@@ -13,6 +13,7 @@ import (
 	"os"
 	"sort"
 
+	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
 	"bddkit/internal/obs"
 )
@@ -21,9 +22,11 @@ import (
 var sess *obs.Session
 
 func main() {
+	workers := flag.Int("workers", 1, "BDD engine worker goroutines (1 = serial reference engine, 0 = GOMAXPROCS)")
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	bdd.SetDefaultWorkers(*workers)
 	if flag.NArg() != 2 {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] golden.net revised.net\n", os.Args[0])
 		os.Exit(2)

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
 	"bddkit/internal/mc"
 	"bddkit/internal/model"
@@ -30,9 +31,11 @@ func main() {
 	ctl := flag.String("ctl", "", "CTL formula (required)")
 	reachable := flag.Bool("reachable", false, "restrict to reachable states first")
 	budget := flag.Duration("budget", 2*time.Minute, "reachability budget with -reachable")
+	workers := flag.Int("workers", 1, "BDD engine worker goroutines (1 = serial reference engine, 0 = GOMAXPROCS)")
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	bdd.SetDefaultWorkers(*workers)
 	if *ctl == "" {
 		flag.Usage()
 		os.Exit(2)

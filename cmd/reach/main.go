@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
 	"bddkit/internal/model"
 	"bddkit/internal/obs"
@@ -37,9 +38,11 @@ func run() int {
 	cluster := flag.Int("cluster", 2500, "transition-relation cluster threshold")
 	stats := flag.Bool("stats", false, "print computed-cache and unique-table statistics after a successful run (stderr)")
 	profile := flag.Bool("profile", false, "emit per-iteration frontier/reached structural profiles as reach.profile trace events (needs -trace)")
+	workers := flag.Int("workers", 1, "BDD engine worker goroutines (1 = serial reference engine, 0 = GOMAXPROCS)")
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	bdd.SetDefaultWorkers(*workers)
 
 	// Validate every flag before doing any work: a bad -method must not
 	// cost a circuit compilation (and must not print statistics).

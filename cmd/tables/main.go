@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"bddkit/internal/bdd"
 	"bddkit/internal/bench"
 	"bddkit/internal/model"
 	"bddkit/internal/obs"
@@ -34,9 +35,11 @@ func main() {
 	benchSave := flag.String("bench-save", "", "append this run's Table 1 rows to the benchmark history `file` (see `make bench-save`)")
 	benchCmp := flag.String("bench-cmp", "", "compare the two most recent records of the benchmark history `file` and exit (no tables are run)")
 	benchAdvisory := flag.Bool("bench-advisory", false, "with -bench-cmp: report regressions but exit 0")
+	workers := flag.Int("workers", 1, "BDD engine worker goroutines (1 = serial reference engine, 0 = GOMAXPROCS)")
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	bdd.SetDefaultWorkers(*workers)
 
 	if *benchCmp != "" {
 		os.Exit(runBenchCmp(*benchCmp, *benchAdvisory))
@@ -93,12 +96,13 @@ func main() {
 			if *paper {
 				suite = "table1-paper"
 			}
-			rec := bench.HistoryRecord{Suite: suite, Rows: rows}
+			rec := bench.HistoryRecord{Suite: suite, Workers: bdd.DefaultWorkers(), Rows: rows}
 			if err := bench.AppendHistory(*benchSave, rec); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "bench-save: appended %s record to %s\n", suite, *benchSave)
+			fmt.Fprintf(os.Stderr, "bench-save: appended %s record (workers=%d) to %s\n",
+				suite, rec.Workers, *benchSave)
 		}
 		if *jsonOut != "" {
 			w := os.Stdout
@@ -158,19 +162,27 @@ func main() {
 	}
 }
 
-// runBenchCmp implements -bench-cmp: compare the two most recent history
-// records and report regressions. Advisory mode always exits 0 so CI can
-// surface drift without failing on noisy machines.
+// runBenchCmp implements -bench-cmp: compare the most recent history
+// record against the latest earlier record of the same suite and worker
+// count (serial and parallel trajectories are tracked separately — their
+// peak-node profiles differ by construction) and report regressions.
+// Advisory mode always exits 0 so CI can surface drift without failing on
+// noisy machines.
 func runBenchCmp(path string, advisory bool) int {
 	h, err := bench.LoadHistory(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	prev, cur, ok := h.Latest2()
+	prev, cur, ok := h.LatestComparable()
 	if !ok {
-		fmt.Fprintf(os.Stderr, "bench-cmp: %s holds %d record(s); need 2 (run `make bench-save` twice)\n",
-			path, len(h.Records))
+		if cur != nil {
+			fmt.Fprintf(os.Stderr, "bench-cmp: %s has no earlier record matching the latest one (suite %s, workers=%d); nothing comparable yet\n",
+				path, cur.Suite, cur.Workers)
+		} else {
+			fmt.Fprintf(os.Stderr, "bench-cmp: %s holds %d record(s); need 2 (run `make bench-save` twice)\n",
+				path, len(h.Records))
+		}
 		if advisory {
 			return 0
 		}

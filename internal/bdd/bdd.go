@@ -122,6 +122,13 @@ type Config struct {
 	// MaxGrowth bounds how much the arena may grow between reorderings
 	// when automatic reordering is enabled.
 	MaxGrowth float64
+	// Workers sets how many OS threads operations may use. 1 runs the
+	// original serial engine (bit-identical behaviour, the differential
+	// oracle's reference); larger values enable the lock-striped parallel
+	// engine and work-stealing Apply/ITE. Zero selects the package default
+	// (see SetDefaultWorkers), which starts at 1; set it to
+	// runtime.GOMAXPROCS(0) to use every core.
+	Workers int
 }
 
 // DefaultConfig returns the default Manager configuration.
@@ -140,8 +147,11 @@ func DefaultConfig() Config {
 // are methods of the Manager that created them; Refs from different
 // managers must never be mixed.
 type Manager struct {
-	nodes []node
-	free  int32 // head of the free list (chained via node.next)
+	nodes     []node
+	nodesUsed int64 // arena cursor: slots [0, nodesUsed) have been handed out
+	free      int32 // head of the free list (chained via node.next)
+
+	par *parEngine // nil on serial managers (Workers <= 1)
 
 	subtables []subtable // one per level, index = level
 	varToLev  []int32    // variable index -> level
@@ -198,6 +208,9 @@ type Stats struct {
 	ReorderTime  time.Duration // total wall time spent in reordering passes
 	PeakLive     int           // high-water mark of live nodes
 	PeakITEDepth int           // deepest ITE recursion observed
+
+	TasksStolen int64 // parallel subproblems executed by a different worker
+	TasksLocal  int64 // forked subproblems reclaimed by their owner at join
 }
 
 // New creates a Manager with numVars variables (indexed 0..numVars-1, with
@@ -225,7 +238,12 @@ func NewWithConfig(numVars int, cfg Config) *Manager {
 		cfg.MaxGrowth = def.MaxGrowth
 	}
 	m := &Manager{
-		nodes:            make([]node, 1, cfg.InitialNodes),
+		// The arena is cursor-based: full length from the start, with
+		// nodesUsed marking the first virgin slot. A fixed len==cap slice
+		// never reallocates outside growArena, which parallel mode runs
+		// only at stop-the-world points.
+		nodes:            make([]node, cfg.InitialNodes),
+		nodesUsed:        1,
 		free:             nilIndex,
 		gcFraction:       cfg.GCFraction,
 		maxGrowth:        cfg.MaxGrowth,
@@ -236,7 +254,14 @@ func NewWithConfig(numVars int, cfg Config) *Manager {
 	m.cache.init(cfg.CacheBits, cfg.CacheMaxBits)
 	m.liveCount = 1
 	for i := 0; i < numVars; i++ {
-		m.AddVar()
+		m.addVarS()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > 1 {
+		m.par = newParEngine(m, workers)
 	}
 	return m
 }
@@ -248,6 +273,23 @@ func (m *Manager) NumVars() int { return len(m.vars) }
 // returns its projection function. The projection function is permanently
 // referenced.
 func (m *Manager) AddVar() Ref {
+	var v Ref
+	m.exclusive(func() { v = m.addVarLocked() })
+	return v
+}
+
+// addVarLocked is AddVar on a quiescent manager; it also grows the parallel
+// engine's per-level lock array in step with the subtables.
+func (m *Manager) addVarLocked() Ref {
+	v := m.addVarS()
+	if m.par != nil {
+		m.par.tableMu = append(m.par.tableMu, padMutex{})
+	}
+	return v
+}
+
+// addVarS is the serial AddVar body.
+func (m *Manager) addVarS() Ref {
 	idx := int32(len(m.vars))
 	lev := int32(len(m.subtables))
 	m.subtables = append(m.subtables, newSubtable())
@@ -320,6 +362,15 @@ func (m *Manager) StructLo(f Ref) Ref { return m.nodes[f.index()].lo }
 // Ref increments the external reference count of f and returns f. Constants
 // and projection functions are permanent and unaffected.
 func (m *Manager) Ref(f Ref) Ref {
+	if m.par != nil {
+		return m.refPublic(f)
+	}
+	return m.refS(f)
+}
+
+// refS is the serial Ref body; internal serial code (and exclusive sections
+// on a parallel manager) must use it instead of the public dispatcher.
+func (m *Manager) refS(f Ref) Ref {
 	n := &m.nodes[f.index()]
 	if n.ref == refSaturated {
 		return f
@@ -338,6 +389,15 @@ func (m *Manager) Ref(f Ref) Ref {
 // becomes dead: it remains structurally valid until the next garbage
 // collection, and is resurrected if looked up again before that.
 func (m *Manager) Deref(f Ref) {
+	if m.par != nil {
+		m.derefPublic(f)
+		return
+	}
+	m.derefIndex(f.index())
+}
+
+// derefS is the serial Deref body, the counterpart of refS.
+func (m *Manager) derefS(f Ref) {
 	m.derefIndex(f.index())
 }
 
@@ -353,6 +413,17 @@ func (m *Manager) derefIndex(idx int32) {
 	if n.ref == 0 && n.level != terminalLevel {
 		m.deadCount++
 		m.liveCount--
+		if m.par != nil {
+			// Parallel managers defer death uniformly: the node keeps
+			// the references it holds on its children until the next
+			// reconcile (see reconcileDeaths), even when the deref
+			// happens in a serial exclusive section.
+			e := m.par
+			e.deadMu.Lock()
+			e.deadPending[idx] = struct{}{}
+			e.deadMu.Unlock()
+			return
+		}
 		// Recursively release the internal references this node holds
 		// on its children.
 		m.derefIndex(n.hi.index())
@@ -363,6 +434,8 @@ func (m *Manager) derefIndex(idx int32) {
 // reclaim resurrects a dead node (ref count zero): it restores the
 // references the node holds on its children, recursively resurrecting them
 // as needed. Callers ensure the node's count becomes 1 (one new owner).
+// On a parallel manager dead nodes never dropped their child references,
+// so resurrection is just the count flip.
 func (m *Manager) reclaim(f Ref) {
 	idx := f.index()
 	n := &m.nodes[idx]
@@ -379,19 +452,58 @@ func (m *Manager) reclaim(f Ref) {
 		m.stats.PeakLive = m.liveCount
 	}
 	m.stats.Resurrected++
+	if m.par != nil {
+		e := m.par
+		e.deadMu.Lock()
+		delete(e.deadPending, idx)
+		e.deadMu.Unlock()
+		return
+	}
 	m.reclaim(n.hi)
 	m.reclaim(n.lo)
 }
 
 // NodeCount returns the number of live (externally or internally referenced)
-// nodes, including the terminal.
-func (m *Manager) NodeCount() int { return m.liveCount }
+// nodes, including the terminal. On a parallel manager the count is
+// advisory while operations are in flight (it reads atomic mirrors) and
+// exact at quiescence.
+func (m *Manager) NodeCount() int {
+	if m.par != nil {
+		return int(m.par.liveApprox())
+	}
+	return m.liveCount
+}
 
-// DeadCount returns the number of dead nodes awaiting collection.
-func (m *Manager) DeadCount() int { return m.deadCount }
+// DeadCount returns the number of dead nodes awaiting collection (advisory
+// on a parallel manager, like NodeCount).
+func (m *Manager) DeadCount() int {
+	if m.par != nil {
+		return int(m.par.deadBase.Load() + m.par.deadDelta.Load())
+	}
+	return m.deadCount
+}
 
-// Stats returns a snapshot of the manager's operation counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the manager's operation counters. On a
+// parallel manager the snapshot excludes worker-local counters of
+// operations still in flight (they merge at operation exit).
+func (m *Manager) Stats() Stats {
+	if m.par == nil {
+		return m.stats
+	}
+	e := m.par
+	e.opLease.RLock()
+	defer e.opLease.RUnlock()
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	m.foldExtraCacheStats()
+	s := m.stats
+	s.TasksStolen = e.tasksStolen.Load()
+	s.TasksLocal = e.tasksLocal.Load()
+	if p := int(e.peakLive.Load()); p > s.PeakLive {
+		s.PeakLive = p
+	}
+	return s
+}
 
 // checkArgs panics if any argument Ref is out of range; cheap insurance
 // against cross-manager mixups in debug paths.

@@ -322,6 +322,10 @@ func (m *Manager) checkCache() error {
 // per call, which allows billions of calls per manager — but callers that
 // can reuse a code across calls should.
 func (m *Manager) CacheOp() uint32 {
+	if m.par != nil {
+		m.par.statsMu.Lock()
+		defer m.par.statsMu.Unlock()
+	}
 	code := opUser + m.userOp
 	if code < opUser {
 		panic("bdd: CacheOp code space exhausted (2^32 codes allocated); " +
@@ -333,12 +337,45 @@ func (m *Manager) CacheOp() uint32 {
 
 // CacheLookup probes the computed table under a client operation code
 // obtained from CacheOp. The returned Ref, on a hit, may be dead: revive it
-// with Ref before creating any node.
+// with Ref before creating any node. On a parallel manager the
+// lookup-then-revive protocol is only safe while no other goroutine runs
+// operations on the manager (a concurrent allocation could trigger a
+// collection that frees the dead node in between) — client algorithms are
+// single-threaded over their manager, so this holds in practice.
 func (m *Manager) CacheLookup(op uint32, a, b, c Ref) (Ref, bool) {
+	if m.par != nil {
+		e := m.par
+		e.opLease.RLock()
+		e.mem.enter()
+		r, ok := m.cacheLookupPar(nil, op, a, b, c)
+		e.mem.exit()
+		e.opLease.RUnlock()
+		return r, ok
+	}
 	return m.cacheLookup(op, a, b, c)
 }
 
 // CacheInsert records a client-computed result in the computed table.
 func (m *Manager) CacheInsert(op uint32, a, b, c Ref, res Ref) {
+	if m.par != nil {
+		e := m.par
+		e.opLease.RLock()
+		e.mem.enter()
+		m.cacheInsertPar(nil, op, a, b, c, res)
+		e.mem.exit()
+		m.maybeCacheEpochPar()
+		e.opLease.RUnlock()
+		return
+	}
 	m.cacheInsert(op, a, b, c, res)
+}
+
+// ClearCache invalidates every computed-table entry with an O(1) generation
+// bump. Benchmarks use it to measure cold-cache operation cost; client
+// algorithms can use it to drop memoized results wholesale.
+func (m *Manager) ClearCache() {
+	m.exclusive(func() {
+		m.cache.invalidateAll()
+		m.stats.CacheGenerations++
+	})
 }

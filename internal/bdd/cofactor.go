@@ -14,18 +14,20 @@ func (m *Manager) Constrain(f, c Ref) Ref {
 	if c == Zero {
 		panic("bdd: Constrain with empty care set")
 	}
-	return m.constrainRec(f, c)
+	var r Ref
+	m.exclusive(func() { r = m.constrainRec(f, c) })
+	return r
 }
 
 func (m *Manager) constrainRec(f, c Ref) Ref {
 	if c == One || f.IsConstant() || f == c {
-		return m.Ref(f)
+		return m.refS(f)
 	}
 	if f == c.Complement() {
 		return Zero
 	}
 	if r, ok := m.cacheLookup(opConstrain, f, c, 0); ok {
-		return m.Ref(r)
+		return m.refS(r)
 	}
 	lev := m.top2(f, c)
 	f1, f0 := m.cofs(f, lev)
@@ -40,8 +42,8 @@ func (m *Manager) constrainRec(f, c Ref) Ref {
 		t := m.constrainRec(f1, c1)
 		e := m.constrainRec(f0, c0)
 		r = m.makeNode(lev, t, e)
-		m.Deref(t)
-		m.Deref(e)
+		m.derefS(t)
+		m.derefS(e)
 	}
 	m.cacheInsert(opConstrain, f, c, 0, r)
 	return r
@@ -56,12 +58,14 @@ func (m *Manager) Restrict(f, c Ref) Ref {
 	if c == Zero {
 		panic("bdd: Restrict with empty care set")
 	}
-	return m.restrictRec(f, c)
+	var r Ref
+	m.exclusive(func() { r = m.restrictRec(f, c) })
+	return r
 }
 
 func (m *Manager) restrictRec(f, c Ref) Ref {
 	if c == One || f.IsConstant() {
-		return m.Ref(f)
+		return m.refS(f)
 	}
 	if f == c {
 		return One
@@ -77,11 +81,11 @@ func (m *Manager) restrictRec(f, c Ref) Ref {
 		c1, c0 := m.cofs(c, lc)
 		cc := m.andRec(c1.Complement(), c0.Complement()).Complement()
 		r := m.restrictRec(f, cc)
-		m.Deref(cc)
+		m.derefS(cc)
 		return r
 	}
 	if r, ok := m.cacheLookup(opRestrict, f, c, 0); ok {
-		return m.Ref(r)
+		return m.refS(r)
 	}
 	f1, f0 := m.cofs(f, lf)
 	c1, c0 := m.cofs(c, lf)
@@ -97,8 +101,8 @@ func (m *Manager) restrictRec(f, c Ref) Ref {
 		t := m.restrictRec(f1, c1)
 		e := m.restrictRec(f0, c0)
 		r = m.makeNode(lf, t, e)
-		m.Deref(t)
-		m.Deref(e)
+		m.derefS(t)
+		m.derefS(e)
 	}
 	m.cacheInsert(opRestrict, f, c, 0, r)
 	return r
@@ -115,18 +119,24 @@ func (m *Manager) Minimize(l, u Ref) Ref {
 	if !m.Leq(l, u) {
 		panic("bdd: Minimize requires l ≤ u")
 	}
-	best := m.Ref(l)
-	bestSize := m.DagSize(l)
-	if sq := m.Squeeze(l, u); m.DagSize(sq) < bestSize {
-		m.Deref(best)
+	var best Ref
+	m.exclusive(func() { best = m.minimizeNow(l, u) })
+	return best
+}
+
+func (m *Manager) minimizeNow(l, u Ref) Ref {
+	best := m.refS(l)
+	bestSize := m.dagSize(l)
+	if sq := m.squeezeRec(l, u); m.dagSize(sq) < bestSize {
+		m.derefS(best)
 		best = sq
-		bestSize = m.DagSize(sq)
+		bestSize = m.dagSize(sq)
 	} else {
-		m.Deref(sq)
+		m.derefS(sq)
 	}
-	if us := m.DagSize(u); us < bestSize {
-		m.Deref(best)
-		best = m.Ref(u)
+	if us := m.dagSize(u); us < bestSize {
+		m.derefS(best)
+		best = m.refS(u)
 		bestSize = us
 	}
 	// care = l OR ¬u; don't-care region is u·¬l.
@@ -137,7 +147,7 @@ func (m *Manager) Minimize(l, u Ref) Ref {
 	if care == Zero {
 		// Everything is a don't care (l = 0, u = 1): any function
 		// qualifies; the constant is the smallest.
-		m.Deref(best)
+		m.derefS(best)
 		return Zero
 	}
 	for _, bound := range [2]Ref{l, u} {
@@ -145,15 +155,15 @@ func (m *Manager) Minimize(l, u Ref) Ref {
 		// the bound on care and is arbitrary elsewhere, hence always
 		// stays inside [l, u]. Keep it if smaller.
 		cand := m.restrictRec(bound, care)
-		if cs := m.DagSize(cand); cs < bestSize {
-			m.Deref(best)
+		if cs := m.dagSize(cand); cs < bestSize {
+			m.derefS(best)
 			best = cand
 			bestSize = cs
 		} else {
-			m.Deref(cand)
+			m.derefS(cand)
 		}
 	}
-	m.Deref(care)
+	m.derefS(care)
 	return best
 }
 
@@ -170,12 +180,14 @@ func (m *Manager) CofactorVar(f Ref, v int, value bool) Ref {
 // possibly negated variables): each variable in the cube is fixed to the
 // polarity it appears with.
 func (m *Manager) CofactorCube(f, cube Ref) Ref {
-	return m.cofCubeRec(f, cube)
+	var r Ref
+	m.exclusive(func() { r = m.cofCubeRec(f, cube) })
+	return r
 }
 
 func (m *Manager) cofCubeRec(f, cube Ref) Ref {
 	if cube == One || f.IsConstant() {
-		return m.Ref(f)
+		return m.refS(f)
 	}
 	if cube == Zero {
 		panic("bdd: CofactorCube with contradictory cube")
@@ -191,7 +203,7 @@ func (m *Manager) cofCubeRec(f, cube Ref) Ref {
 		return m.cofCubeRec(f, c0)
 	}
 	if r, ok := m.cacheLookup(opCofCube, f, cube, 0); ok {
-		return m.Ref(r)
+		return m.refS(r)
 	}
 	f1, f0 := m.cofs(f, lf)
 	var r Ref
@@ -206,8 +218,8 @@ func (m *Manager) cofCubeRec(f, cube Ref) Ref {
 		t := m.cofCubeRec(f1, cube)
 		e := m.cofCubeRec(f0, cube)
 		r = m.makeNode(lf, t, e)
-		m.Deref(t)
-		m.Deref(e)
+		m.derefS(t)
+		m.derefS(e)
 	}
 	m.cacheInsert(opCofCube, f, cube, 0, r)
 	return r
@@ -223,7 +235,9 @@ func (m *Manager) Squeeze(l, u Ref) Ref {
 	if !m.Leq(l, u) {
 		panic("bdd: Squeeze requires l ≤ u")
 	}
-	return m.squeezeRec(l, u)
+	var r Ref
+	m.exclusive(func() { r = m.squeezeRec(l, u) })
+	return r
 }
 
 func (m *Manager) squeezeRec(l, u Ref) Ref {
@@ -234,10 +248,10 @@ func (m *Manager) squeezeRec(l, u Ref) Ref {
 		return One
 	}
 	if l == u {
-		return m.Ref(l)
+		return m.refS(l)
 	}
 	if r, ok := m.cacheLookup(opSqueeze, l, u, 0); ok {
-		return m.Ref(r)
+		return m.refS(r)
 	}
 	lev := m.top2(l, u)
 	l1, l0 := m.cofs(l, lev)
@@ -253,11 +267,11 @@ func (m *Manager) squeezeRec(l, u Ref) Ref {
 		t := m.squeezeRec(l1, u1)
 		e := m.squeezeRec(l0, u0)
 		r = m.makeNode(lev, t, e)
-		m.Deref(t)
-		m.Deref(e)
+		m.derefS(t)
+		m.derefS(e)
 	}
-	m.Deref(meetL)
-	m.Deref(meetU)
+	m.derefS(meetL)
+	m.derefS(meetU)
 	m.cacheInsert(opSqueeze, l, u, 0, r)
 	return r
 }

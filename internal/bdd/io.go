@@ -52,6 +52,12 @@ func (m *Manager) Save(w io.Writer, names []string, roots []Ref) error {
 	if len(names) != len(roots) {
 		return fmt.Errorf("bdd: Save: %d names for %d roots", len(names), len(roots))
 	}
+	var err error
+	m.readLocked(func() { err = m.saveLocked(w, names, roots) })
+	return err
+}
+
+func (m *Manager) saveLocked(w io.Writer, names []string, roots []Ref) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, ioMagic)
 	fmt.Fprintf(bw, "vars %d\n", m.NumVars())
@@ -118,6 +124,13 @@ func (m *Manager) Save(w io.Writer, names []string, roots []Ref) error {
 // set if the file needs more variables. It returns the roots by name, each
 // carrying one reference owned by the caller.
 func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
+	var out map[string]Ref
+	var err error
+	m.exclusive(func() { out, err = m.loadLocked(r) })
+	return out, err
+}
+
+func (m *Manager) loadLocked(r io.Reader) (map[string]Ref, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	line := func() (string, error) {
@@ -147,7 +160,7 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 		return nil, fmt.Errorf("bdd: Load: vars %d outside [0,%d]", nvars, MaxLoadVars)
 	}
 	for m.NumVars() < nvars {
-		m.AddVar()
+		m.addVarLocked()
 	}
 	var nnodes int
 	if s, err := line(); err != nil || !scan1(s, "nodes %d", &nnodes) {
@@ -169,7 +182,7 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 	// release drops the construction references (only filled slots exist).
 	release := func() {
 		for _, f := range byID[1:] {
-			m.Deref(f)
+			m.derefS(f)
 		}
 	}
 	filled := 0
@@ -214,7 +227,7 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 			release()
 			return nil, err
 		}
-		byID = append(byID, m.ITE(m.IthVar(v), hi, lo))
+		byID = append(byID, m.iteRec(m.IthVar(v), hi, lo, 1))
 		filled = i
 	}
 	var nroots int
@@ -231,7 +244,7 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 		s, err := line()
 		if err != nil {
 			for _, f := range out {
-				m.Deref(f)
+				m.derefS(f)
 			}
 			release()
 			return nil, err
@@ -239,7 +252,7 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 		fields := strings.Fields(s)
 		if len(fields) != 2 {
 			for _, f := range out {
-				m.Deref(f)
+				m.derefS(f)
 			}
 			release()
 			return nil, fmt.Errorf("bdd: Load: bad root line %q", s)
@@ -247,12 +260,12 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 		f, err := dec(fields[1])
 		if err != nil {
 			for _, fr := range out {
-				m.Deref(fr)
+				m.derefS(fr)
 			}
 			release()
 			return nil, err
 		}
-		out[fields[0]] = m.Ref(f)
+		out[fields[0]] = m.refS(f)
 	}
 	release()
 	return out, nil

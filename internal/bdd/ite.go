@@ -16,43 +16,76 @@ func (m *Manager) Not(f Ref) Ref {
 
 // And returns f AND g.
 func (m *Manager) And(f, g Ref) Ref {
+	if m.par != nil {
+		return m.parAnd(f, g)
+	}
 	m.maybeReorder()
 	return m.andRec(f, g)
 }
 
 // Or returns f OR g.
 func (m *Manager) Or(f, g Ref) Ref {
+	if m.par != nil {
+		return m.parAnd(f.Complement(), g.Complement()).Complement()
+	}
 	m.maybeReorder()
 	return m.andRec(f.Complement(), g.Complement()).Complement()
 }
 
 // Nand returns NOT (f AND g).
-func (m *Manager) Nand(f, g Ref) Ref { return m.andRec(f, g).Complement() }
+func (m *Manager) Nand(f, g Ref) Ref {
+	if m.par != nil {
+		return m.parAnd(f, g).Complement()
+	}
+	return m.andRec(f, g).Complement()
+}
 
 // Nor returns NOT (f OR g).
 func (m *Manager) Nor(f, g Ref) Ref {
+	if m.par != nil {
+		return m.parAnd(f.Complement(), g.Complement())
+	}
 	return m.andRec(f.Complement(), g.Complement())
 }
 
 // Xor returns f XOR g.
 func (m *Manager) Xor(f, g Ref) Ref {
+	if m.par != nil {
+		return m.parXor(f, g)
+	}
 	m.maybeReorder()
 	return m.xorRec(f, g)
 }
 
 // Xnor returns NOT (f XOR g), i.e. f IFF g.
-func (m *Manager) Xnor(f, g Ref) Ref { return m.xorRec(f, g).Complement() }
+func (m *Manager) Xnor(f, g Ref) Ref {
+	if m.par != nil {
+		return m.parXor(f, g).Complement()
+	}
+	return m.xorRec(f, g).Complement()
+}
 
 // Implies returns f IMPLIES g, i.e. NOT f OR g.
 func (m *Manager) Implies(f, g Ref) Ref {
+	if m.par != nil {
+		return m.parAnd(f, g.Complement()).Complement()
+	}
 	return m.andRec(f, g.Complement()).Complement()
 }
 
 // Diff returns f AND NOT g (set difference when BDDs encode sets).
-func (m *Manager) Diff(f, g Ref) Ref { return m.andRec(f, g.Complement()) }
+func (m *Manager) Diff(f, g Ref) Ref {
+	if m.par != nil {
+		return m.parAnd(f, g.Complement())
+	}
+	return m.andRec(f, g.Complement())
+}
 
 // ITE returns if-then-else(f, g, h) = f·g + ¬f·h.
 func (m *Manager) ITE(f, g, h Ref) Ref {
+	if m.par != nil {
+		return m.parITE(f, g, h)
+	}
 	m.maybeReorder()
 	return m.iteRec(f, g, h, 1)
 }
@@ -83,17 +116,17 @@ func (m *Manager) andRec(f, g Ref) Ref {
 		return Zero
 	}
 	if f == One || f == g {
-		return m.Ref(g)
+		return m.refS(g)
 	}
 	if g == One {
-		return m.Ref(f)
+		return m.refS(f)
 	}
 	// Commutative: order operands for cache coherence.
 	if f > g {
 		f, g = g, f
 	}
 	if r, ok := m.cacheLookup(opAnd, f, g, 0); ok {
-		return m.Ref(r)
+		return m.refS(r)
 	}
 	lev := m.top2(f, g)
 	f1, f0 := m.cofs(f, lev)
@@ -101,8 +134,8 @@ func (m *Manager) andRec(f, g Ref) Ref {
 	t := m.andRec(f1, g1)
 	e := m.andRec(f0, g0)
 	r := m.makeNode(lev, t, e)
-	m.Deref(t)
-	m.Deref(e)
+	m.derefS(t)
+	m.derefS(e)
 	m.cacheInsert(opAnd, f, g, 0, r)
 	return r
 }
@@ -115,16 +148,16 @@ func (m *Manager) xorRec(f, g Ref) Ref {
 		return One
 	}
 	if f == Zero {
-		return m.Ref(g)
+		return m.refS(g)
 	}
 	if g == Zero {
-		return m.Ref(f)
+		return m.refS(f)
 	}
 	if f == One {
-		return m.Ref(g.Complement())
+		return m.refS(g.Complement())
 	}
 	if g == One {
-		return m.Ref(f.Complement())
+		return m.refS(f.Complement())
 	}
 	// XOR is commutative and self-complementing: normalize both operands
 	// to regular refs, pulling complements out of the recursion.
@@ -141,7 +174,7 @@ func (m *Manager) xorRec(f, g Ref) Ref {
 		f, g = g, f
 	}
 	if r, ok := m.cacheLookup(opXor, f, g, 0); ok {
-		return m.Ref(r) ^ out
+		return m.refS(r) ^ out
 	}
 	lev := m.top2(f, g)
 	f1, f0 := m.cofs(f, lev)
@@ -149,8 +182,8 @@ func (m *Manager) xorRec(f, g Ref) Ref {
 	t := m.xorRec(f1, g1)
 	e := m.xorRec(f0, g0)
 	r := m.makeNode(lev, t, e)
-	m.Deref(t)
-	m.Deref(e)
+	m.derefS(t)
+	m.derefS(e)
 	m.cacheInsert(opXor, f, g, 0, r)
 	return r ^ out
 }
@@ -164,11 +197,11 @@ func (m *Manager) iteRec(f, g, h Ref, depth int) Ref {
 	// Terminal cases.
 	switch {
 	case f == One:
-		return m.Ref(g)
+		return m.refS(g)
 	case f == Zero:
-		return m.Ref(h)
+		return m.refS(h)
 	case g == h:
-		return m.Ref(g)
+		return m.refS(g)
 	case g == h.Complement():
 		// ITE(f,g,¬g) = f XNOR g = ¬(f XOR g); with h = ¬g this is
 		// f XOR h.
@@ -183,10 +216,10 @@ func (m *Manager) iteRec(f, g, h Ref, depth int) Ref {
 		h = One
 	}
 	if g == One && h == Zero {
-		return m.Ref(f)
+		return m.refS(f)
 	}
 	if g == Zero && h == One {
-		return m.Ref(f.Complement())
+		return m.refS(f.Complement())
 	}
 	if g == One {
 		// f OR h
@@ -216,7 +249,7 @@ func (m *Manager) iteRec(f, g, h Ref, depth int) Ref {
 		out = 1
 	}
 	if r, ok := m.cacheLookup(opIte, f, g, h); ok {
-		return m.Ref(r) ^ out
+		return m.refS(r) ^ out
 	}
 	lev := m.top2(f, g)
 	if lh := m.nodes[h.index()].level; lh < lev {
@@ -228,8 +261,8 @@ func (m *Manager) iteRec(f, g, h Ref, depth int) Ref {
 	t := m.iteRec(f1, g1, h1, depth+1)
 	e := m.iteRec(f0, g0, h0, depth+1)
 	r := m.makeNode(lev, t, e)
-	m.Deref(t)
-	m.Deref(e)
+	m.derefS(t)
+	m.derefS(e)
 	m.cacheInsert(opIte, f, g, h, r)
 	return r ^ out
 }
@@ -237,6 +270,9 @@ func (m *Manager) iteRec(f, g, h Ref, depth int) Ref {
 // Leq reports whether f implies g (f ≤ g as sets), without building the
 // difference BDD.
 func (m *Manager) Leq(f, g Ref) bool {
+	if m.par != nil {
+		return m.parLeq(f, g)
+	}
 	return m.leqRec(f, g)
 }
 

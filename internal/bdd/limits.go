@@ -35,13 +35,17 @@ const deadlineCheckInterval = 4096
 // time disarms it. The deadline is checked every few thousand node
 // allocations, so abort latency is microseconds, not relational products.
 func (m *Manager) SetDeadline(t time.Time) {
-	m.deadline = t
-	m.allocTick = 0
+	m.exclusive(func() {
+		m.deadline = t
+		m.allocTick = 0
+	})
 }
 
 // SetNodeLimit arms a live-node ceiling for subsequent operations;
 // 0 disarms it.
-func (m *Manager) SetNodeLimit(n int) { m.nodeLimit = n }
+func (m *Manager) SetNodeLimit(n int) {
+	m.exclusive(func() { m.nodeLimit = n })
+}
 
 // checkLimits is called from node allocation.
 func (m *Manager) checkLimits() {
@@ -76,11 +80,18 @@ func (m *Manager) checkLimits() {
 // converts an OpAborted panic into an error. Other panics propagate. The
 // previous limits are restored afterwards.
 func (m *Manager) RunLimited(deadline time.Time, nodeLimit int, fn func() error) (err error) {
-	prevDeadline, prevLimit := m.deadline, m.nodeLimit
-	m.SetDeadline(deadline)
-	m.SetNodeLimit(nodeLimit)
+	var prevDeadline time.Time
+	var prevLimit int
+	m.exclusive(func() {
+		prevDeadline, prevLimit = m.deadline, m.nodeLimit
+		m.deadline = deadline
+		m.allocTick = 0
+		m.nodeLimit = nodeLimit
+	})
 	defer func() {
-		m.deadline, m.nodeLimit = prevDeadline, prevLimit
+		m.exclusive(func() {
+			m.deadline, m.nodeLimit = prevDeadline, prevLimit
+		})
 		if r := recover(); r != nil {
 			if ab, ok := r.(OpAborted); ok {
 				err = ab

@@ -6,6 +6,14 @@ package bdd
 // DagSize returns |f|: the number of distinct nodes in the BDD rooted at f,
 // including the constant node (the CUDD convention).
 func (m *Manager) DagSize(f Ref) int {
+	var n int
+	m.readLocked(func() { n = m.dagSize(f) })
+	return n
+}
+
+// dagSize is the lock-free body of DagSize, for internal use under a lease
+// the caller already holds.
+func (m *Manager) dagSize(f Ref) int {
 	seen := make(map[int32]struct{})
 	m.dagSizeRec(f.index(), seen)
 	return len(seen)
@@ -28,9 +36,11 @@ func (m *Manager) dagSizeRec(idx int32, seen map[int32]struct{}) {
 // the given functions — the "shared size" reported in Table 4 of the paper.
 func (m *Manager) SharingSize(fs []Ref) int {
 	seen := make(map[int32]struct{})
-	for _, f := range fs {
-		m.dagSizeRec(f.index(), seen)
-	}
+	m.readLocked(func() {
+		for _, f := range fs {
+			m.dagSizeRec(f.index(), seen)
+		}
+	})
 	return len(seen)
 }
 
@@ -44,8 +54,12 @@ func (m *Manager) CountMinterm(f Ref, nVars int) float64 {
 // MintermFraction returns ‖f‖ / 2^n: the fraction of the full variable
 // space on which f is 1. It is independent of the number of variables.
 func (m *Manager) MintermFraction(f Ref) float64 {
-	memo := make(map[int32]float64)
-	return m.fracOf(f, memo)
+	var p float64
+	m.readLocked(func() {
+		memo := make(map[int32]float64)
+		p = m.fracOf(f, memo)
+	})
+	return p
 }
 
 // fracOf returns the minterm fraction of the function denoted by ref,
@@ -109,7 +123,9 @@ func (m *Manager) CountPath(f Ref) float64 {
 		memo[k] = v
 		return v
 	}
-	return rec(f)
+	var out float64
+	m.readLocked(func() { out = rec(f) })
+	return out
 }
 
 // pow2 returns 2^n as a float64 (n may exceed 63).

@@ -7,6 +7,9 @@ package bdd
 // CubeFromVars returns the conjunction of the projection functions of the
 // given variable indices (a positive cube). An empty set yields One.
 func (m *Manager) CubeFromVars(vars []int) Ref {
+	if m.par != nil {
+		return m.parCubeFromVars(vars)
+	}
 	// Build bottom-up in level order so each makeNode is O(1).
 	levels := make([]int32, 0, len(vars))
 	for _, v := range vars {
@@ -24,7 +27,7 @@ func (m *Manager) CubeFromVars(vars []int) Ref {
 			continue // duplicate variable
 		}
 		nr := m.makeNode(levels[i], r, Zero)
-		m.Deref(r)
+		m.derefS(r)
 		r = nr
 	}
 	return r
@@ -41,6 +44,9 @@ func (m *Manager) Exists(f Ref, vars []int) Ref {
 // ExistsCube returns ∃cube. f where cube is a positive cube of the
 // variables to abstract.
 func (m *Manager) ExistsCube(f, cube Ref) Ref {
+	if m.par != nil {
+		return m.parExistsCube(f, cube)
+	}
 	m.maybeReorder()
 	return m.existsRec(f, cube)
 }
@@ -55,6 +61,9 @@ func (m *Manager) ForAll(f Ref, vars []int) Ref {
 
 // ForAllCube returns ∀cube. f.
 func (m *Manager) ForAllCube(f, cube Ref) Ref {
+	if m.par != nil {
+		return m.parExistsCube(f.Complement(), cube).Complement()
+	}
 	m.maybeReorder()
 	return m.existsRec(f.Complement(), cube).Complement()
 }
@@ -62,6 +71,9 @@ func (m *Manager) ForAllCube(f, cube Ref) Ref {
 // AndExists returns ∃cube. (f AND g) without building f AND g first — the
 // relational-product operation at the heart of image computation.
 func (m *Manager) AndExists(f, g, cube Ref) Ref {
+	if m.par != nil {
+		return m.parAndExists(f, g, cube)
+	}
 	m.maybeReorder()
 	return m.andExistsRec(f, g, cube)
 }
@@ -77,15 +89,15 @@ func (m *Manager) skipCube(cube Ref, lev int32) Ref {
 
 func (m *Manager) existsRec(f, cube Ref) Ref {
 	if f.IsConstant() || cube == One {
-		return m.Ref(f)
+		return m.refS(f)
 	}
 	lev := m.nodes[f.index()].level
 	cube = m.skipCube(cube, lev)
 	if cube == One {
-		return m.Ref(f)
+		return m.refS(f)
 	}
 	if r, ok := m.cacheLookup(opExists, f, cube, 0); ok {
-		return m.Ref(r)
+		return m.refS(r)
 	}
 	f1, f0 := m.cofs(f, lev)
 	var r Ref
@@ -97,15 +109,15 @@ func (m *Manager) existsRec(f, cube Ref) Ref {
 		} else {
 			e := m.existsRec(f0, rest)
 			r = m.andRec(t.Complement(), e.Complement()).Complement() // t OR e
-			m.Deref(t)
-			m.Deref(e)
+			m.derefS(t)
+			m.derefS(e)
 		}
 	} else {
 		t := m.existsRec(f1, cube)
 		e := m.existsRec(f0, cube)
 		r = m.makeNode(lev, t, e)
-		m.Deref(t)
-		m.Deref(e)
+		m.derefS(t)
+		m.derefS(e)
 	}
 	m.cacheInsert(opExists, f, cube, 0, r)
 	return r
@@ -134,7 +146,7 @@ func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
 		f, g = g, f
 	}
 	if r, ok := m.cacheLookup(opAndExists, f, g, cube); ok {
-		return m.Ref(r)
+		return m.refS(r)
 	}
 	f1, f0 := m.cofs(f, lev)
 	g1, g0 := m.cofs(g, lev)
@@ -147,15 +159,15 @@ func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
 		} else {
 			e := m.andExistsRec(f0, g0, rest)
 			r = m.andRec(t.Complement(), e.Complement()).Complement()
-			m.Deref(t)
-			m.Deref(e)
+			m.derefS(t)
+			m.derefS(e)
 		}
 	} else {
 		t := m.andExistsRec(f1, g1, cube)
 		e := m.andExistsRec(f0, g0, cube)
 		r = m.makeNode(lev, t, e)
-		m.Deref(t)
-		m.Deref(e)
+		m.derefS(t)
+		m.derefS(e)
 	}
 	m.cacheInsert(opAndExists, f, g, cube, r)
 	return r
@@ -166,13 +178,16 @@ func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
 // f's support are ignored). A per-call memo table is used because the cache
 // key would otherwise have to identify perm.
 func (m *Manager) Permute(f Ref, perm []int) Ref {
+	if m.par != nil {
+		return m.parPermute(f, perm)
+	}
 	memo := make(map[Ref]Ref)
 	r := m.permuteRec(f, perm, memo)
 	// The memo owns one reference per entry; the result picked up an
 	// extra one to survive the release below.
-	m.Ref(r)
+	m.refS(r)
 	for _, v := range memo {
-		m.Deref(v)
+		m.derefS(v)
 	}
 	return r
 }
@@ -196,16 +211,19 @@ func (m *Manager) permuteRec(f Ref, perm []int, memo map[Ref]Ref) Ref {
 
 // Compose returns f with variable v substituted by function g.
 func (m *Manager) Compose(f Ref, v int, g Ref) Ref {
+	if m.par != nil {
+		return m.parCompose(f, v, g)
+	}
 	return m.composeRec(f, m.varToLev[v], g)
 }
 
 func (m *Manager) composeRec(f Ref, lev int32, g Ref) Ref {
 	fl := m.nodes[f.index()].level
 	if fl > lev {
-		return m.Ref(f) // v not in f's remaining support
+		return m.refS(f) // v not in f's remaining support
 	}
 	if r, ok := m.cacheLookup(opCompose, f, g, Ref(lev)); ok {
-		return m.Ref(r)
+		return m.refS(r)
 	}
 	var r Ref
 	if fl == lev {
@@ -219,8 +237,8 @@ func (m *Manager) composeRec(f Ref, lev int32, g Ref) Ref {
 		// variables above it, in which case ITE is required.
 		v := m.vars[m.levToVar[fl]]
 		r = m.iteRec(v, t, e, 1)
-		m.Deref(t)
-		m.Deref(e)
+		m.derefS(t)
+		m.derefS(e)
 	}
 	m.cacheInsert(opCompose, f, g, Ref(lev), r)
 	return r

@@ -42,14 +42,22 @@ type SiftConfig struct {
 // operation starts and the live node count exceeds threshold, the manager
 // sifts and doubles the threshold. Refs held by callers stay valid.
 func (m *Manager) EnableAutoReorder(threshold int) {
-	if threshold > 0 {
-		m.reorderThreshold = threshold
-	}
-	m.autoReorder = true
+	m.exclusive(func() {
+		if threshold > 0 {
+			m.reorderThreshold = threshold
+		}
+		m.autoReorder = true
+		m.syncReorderMirrors()
+	})
 }
 
 // DisableAutoReorder turns automatic sifting off.
-func (m *Manager) DisableAutoReorder() { m.autoReorder = false }
+func (m *Manager) DisableAutoReorder() {
+	m.exclusive(func() {
+		m.autoReorder = false
+		m.syncReorderMirrors()
+	})
+}
 
 // PauseAutoReorder disables automatic sifting and returns a function that
 // restores the previous setting. Algorithms that hold a structural view of
@@ -57,9 +65,28 @@ func (m *Manager) DisableAutoReorder() { m.autoReorder = false }
 // must pause reordering, because an in-place swap rewrites node children
 // under them.
 func (m *Manager) PauseAutoReorder() (restore func()) {
-	prev := m.autoReorder
-	m.autoReorder = false
-	return func() { m.autoReorder = prev }
+	var prev bool
+	m.exclusive(func() {
+		prev = m.autoReorder
+		m.autoReorder = false
+		m.syncReorderMirrors()
+	})
+	return func() {
+		m.exclusive(func() {
+			m.autoReorder = prev
+			m.syncReorderMirrors()
+		})
+	}
+}
+
+// syncReorderMirrors re-publishes the reordering tunables into the parallel
+// engine's pre-lease atomics. Callers own a quiescent manager.
+func (m *Manager) syncReorderMirrors() {
+	if m.par == nil {
+		return
+	}
+	m.par.autoReorderA.Store(m.autoReorder)
+	m.par.reorderThresholdA.Store(int64(m.reorderThreshold))
 }
 
 // autoSiftMaxVars bounds how many variables one automatic sifting pass
@@ -67,10 +94,11 @@ func (m *Manager) PauseAutoReorder() (restore func()) {
 // saves (CUDD bounds automatic sifting the same way).
 const autoSiftMaxVars = 64
 
-// maybeReorder is called at the entry of public node-creating operations.
+// maybeReorder is called at the entry of public node-creating operations
+// (serial path; parallel operations use parMaybeReorder).
 func (m *Manager) maybeReorder() {
 	if m.autoReorder && m.liveCount > m.reorderThreshold {
-		m.Reorder(ReorderSift, SiftConfig{MaxVars: autoSiftMaxVars})
+		m.reorderNow(ReorderSift, SiftConfig{MaxVars: autoSiftMaxVars})
 		next := 2 * m.liveCount
 		if next < m.reorderThreshold {
 			next = m.reorderThreshold
@@ -80,8 +108,16 @@ func (m *Manager) maybeReorder() {
 }
 
 // Reorder runs the given reordering method now. It returns the live node
-// count after reordering.
+// count after reordering. On a parallel manager the pass waits for every
+// in-flight operation to finish and runs with the manager to itself.
 func (m *Manager) Reorder(method ReorderMethod, cfg SiftConfig) int {
+	var n int
+	m.exclusive(func() { n = m.reorderNow(method, cfg) })
+	return n
+}
+
+// reorderNow is the reordering body; callers own a quiescent manager.
+func (m *Manager) reorderNow(method ReorderMethod, cfg SiftConfig) int {
 	if cfg.MaxGrowth <= 1 {
 		cfg.MaxGrowth = m.maxGrowth
 	}
@@ -141,6 +177,13 @@ func (m *Manager) Reorder(method ReorderMethod, cfg SiftConfig) int {
 // deliberately different order; clients can use it to restore a known
 // good order.
 func (m *Manager) SetOrder(order []int) error {
+	var err error
+	m.exclusive(func() { err = m.setOrderNow(order) })
+	return err
+}
+
+// setOrderNow is the SetOrder body; callers own a quiescent manager.
+func (m *Manager) setOrderNow(order []int) error {
 	if len(order) != len(m.vars) {
 		return fmt.Errorf("bdd: SetOrder: %d entries for %d variables", len(order), len(m.vars))
 	}
@@ -182,10 +225,12 @@ func (m *Manager) SetOrder(order []int) error {
 // collection inside allocation; used when the table is consistent again
 // after a pass that suspended collection.
 func (m *Manager) GarbageCollectDeferred() {
-	saved := m.noGC
-	m.noGC = false
-	m.GarbageCollect()
-	m.noGC = saved
+	m.exclusive(func() {
+		saved := m.noGC
+		m.noGC = false
+		m.gc(true)
+		m.noGC = saved
+	})
 }
 
 // siftAll sifts variables in decreasing order of subtable population.
@@ -330,17 +375,23 @@ func (m *Manager) swapInPlace(lev int) int {
 		m.insertNode(stX, l0, idx)
 	}
 
-	// Surviving y nodes move up to level lev; dead ones are freed.
+	// Surviving y nodes move up to level lev; dead ones are freed. On a
+	// parallel manager a dead node still holds its child references
+	// (deferred death) — drop them now, since the slot is going away.
 	freed := 0
 	for _, idx := range ys {
-		n := &m.nodes[idx]
-		if n.ref == 0 {
+		if m.nodes[idx].ref == 0 {
+			if m.par != nil {
+				m.dropChildRefs(idx)
+			}
+			n := &m.nodes[idx]
 			n.next = m.free
 			n.level = -1
 			m.free = idx
 			freed++
 			continue
 		}
+		n := &m.nodes[idx]
 		n.level = l0
 		m.insertNode(stX, l0, idx)
 	}
@@ -353,7 +404,8 @@ func (m *Manager) swapInPlace(lev int) int {
 	return m.liveCount
 }
 
-// sweepDeadAtLevel removes dead nodes from one subtable and frees them.
+// sweepDeadAtLevel removes dead nodes from one subtable and frees them
+// (dropping the child references parallel-dead nodes still hold).
 func (m *Manager) sweepDeadAtLevel(lev int32) {
 	st := &m.subtables[lev]
 	freed := 0
@@ -362,6 +414,9 @@ func (m *Manager) sweepDeadAtLevel(lev int32) {
 		for idx := head; idx != nilIndex; {
 			next := m.nodes[idx].next
 			if m.nodes[idx].ref == 0 {
+				if m.par != nil {
+					m.dropChildRefs(idx)
+				}
 				m.nodes[idx].next = m.free
 				m.nodes[idx].level = -1
 				m.free = idx
@@ -399,6 +454,7 @@ func (m *Manager) insertNode(st *subtable, lev int32, idx int32) {
 	st.buckets[b] = idx
 	st.count++
 	if st.count > loadFactor*len(st.buckets) {
+		m.stats.UniqueGrows++
 		m.growSubtable(lev)
 	}
 }

@@ -43,6 +43,21 @@ type CacheStats struct {
 
 // CacheStats returns a snapshot of the computed-table statistics.
 func (m *Manager) CacheStats() CacheStats {
+	if m.par == nil {
+		return m.cacheStatsNow()
+	}
+	e := m.par
+	e.opLease.RLock()
+	defer e.opLease.RUnlock()
+	// Epoch events (resize, generation bump) run under statsMu, so holding
+	// it here yields a consistent snapshot without stopping the world.
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	m.foldExtraCacheStats()
+	return m.cacheStatsNow()
+}
+
+func (m *Manager) cacheStatsNow() CacheStats {
 	c := &m.cache
 	s := CacheStats{
 		Entries:    len(c.entries),
@@ -114,13 +129,16 @@ type UniqueStats struct {
 // that a structural profile over every live root must reproduce. Linear in
 // the arena; intended for reporting and cross-checks, not hot paths.
 func (m *Manager) LiveLevelCounts() []int {
-	counts := make([]int, len(m.subtables))
-	for idx := 1; idx < len(m.nodes); idx++ {
-		n := &m.nodes[idx]
-		if n.ref != 0 && n.level >= 0 && n.level != terminalLevel {
-			counts[n.level]++
+	var counts []int
+	m.exclusive(func() {
+		counts = make([]int, len(m.subtables))
+		for idx := 1; idx < len(m.nodes); idx++ {
+			n := &m.nodes[idx]
+			if n.ref != 0 && n.level >= 0 && n.level != terminalLevel {
+				counts[n.level]++
+			}
 		}
-	}
+	})
 	return counts
 }
 
@@ -128,6 +146,12 @@ func (m *Manager) LiveLevelCounts() []int {
 // linear in the number of buckets plus stored nodes; intended for
 // reporting, not hot paths.
 func (m *Manager) UniqueStats() UniqueStats {
+	var s UniqueStats
+	m.exclusive(func() { s = m.uniqueStatsNow() })
+	return s
+}
+
+func (m *Manager) uniqueStatsNow() UniqueStats {
 	s := UniqueStats{
 		Subtables: len(m.subtables),
 		Live:      m.liveCount,

@@ -9,11 +9,14 @@ import "sort"
 func (m *Manager) SupportVars(f Ref) []int {
 	levels := make(map[int32]struct{})
 	seen := make(map[int32]struct{})
-	m.supportRec(f.index(), seen, levels)
-	vars := make([]int, 0, len(levels))
-	for lev := range levels {
-		vars = append(vars, int(m.levToVar[lev]))
-	}
+	var vars []int
+	m.readLocked(func() {
+		m.supportRec(f.index(), seen, levels)
+		vars = make([]int, 0, len(levels))
+		for lev := range levels {
+			vars = append(vars, int(m.levToVar[lev]))
+		}
+	})
 	sort.Ints(vars)
 	return vars
 }
@@ -36,7 +39,9 @@ func (m *Manager) supportRec(idx int32, seen map[int32]struct{}, levels map[int3
 func (m *Manager) SupportSize(f Ref) int {
 	levels := make(map[int32]struct{})
 	seen := make(map[int32]struct{})
-	m.supportRec(f.index(), seen, levels)
+	m.readLocked(func() {
+		m.supportRec(f.index(), seen, levels)
+	})
 	return len(levels)
 }
 
@@ -49,13 +54,16 @@ func (m *Manager) SupportCube(f Ref) Ref {
 func (m *Manager) VectorSupport(fs []Ref) []int {
 	levels := make(map[int32]struct{})
 	seen := make(map[int32]struct{})
-	for _, f := range fs {
-		m.supportRec(f.index(), seen, levels)
-	}
-	vars := make([]int, 0, len(levels))
-	for lev := range levels {
-		vars = append(vars, int(m.levToVar[lev]))
-	}
+	var vars []int
+	m.readLocked(func() {
+		for _, f := range fs {
+			m.supportRec(f.index(), seen, levels)
+		}
+		vars = make([]int, 0, len(levels))
+		for lev := range levels {
+			vars = append(vars, int(m.levToVar[lev]))
+		}
+	})
 	sort.Ints(vars)
 	return vars
 }

@@ -62,7 +62,7 @@ func hash3(level int32, hi, lo Ref) uint32 {
 // caller.
 func (m *Manager) makeNode(level int32, hi, lo Ref) Ref {
 	if hi == lo {
-		return m.Ref(hi)
+		return m.refS(hi)
 	}
 	// Normalize: the then edge must be regular.
 	complement := hi.IsComplement()
@@ -79,7 +79,7 @@ func (m *Manager) makeNode(level int32, hi, lo Ref) Ref {
 		n := &m.nodes[idx]
 		if n.hi == hi && n.lo == lo {
 			m.stats.UniqueHits++
-			return m.Ref(makeRef(idx, complement))
+			return m.refS(makeRef(idx, complement))
 		}
 	}
 	idx := m.allocNode() // may GC; hi and lo are protected by the caller
@@ -102,6 +102,7 @@ func (m *Manager) makeNode(level int32, hi, lo Ref) Ref {
 	m.refChild(lo)
 	if st.count > loadFactor*len(st.buckets) ||
 		(chain >= longChain && 2*st.count > len(st.buckets)) {
+		m.stats.UniqueGrows++
 		m.growSubtable(level)
 	}
 	return makeRef(idx, complement)
@@ -140,21 +141,40 @@ func (m *Manager) allocNode() int32 {
 		m.free = m.nodes[idx].next
 		return idx
 	}
-	if !m.noGC && len(m.nodes) == cap(m.nodes) &&
+	if m.nodesUsed < int64(len(m.nodes)) {
+		idx := int32(m.nodesUsed)
+		m.nodesUsed++
+		return idx
+	}
+	if !m.noGC &&
 		m.deadCount > 2048 && float64(m.deadCount) > m.gcFraction*float64(len(m.nodes)) {
-		m.GarbageCollect()
+		m.gc(true)
 		if m.free != nilIndex {
 			idx := m.free
 			m.free = m.nodes[idx].next
 			return idx
 		}
 	}
-	m.nodes = append(m.nodes, node{})
-	return int32(len(m.nodes) - 1)
+	m.growArena()
+	idx := int32(m.nodesUsed)
+	m.nodesUsed++
+	return idx
 }
 
+// growArena doubles the node arena. The slice header swap invalidates every
+// *node pointer into the old backing array, so callers must own a quiescent
+// manager (the serial path trivially does; parallel mode grows only inside
+// a stop-the-world).
+func (m *Manager) growArena() {
+	grown := make([]node, 2*len(m.nodes))
+	copy(grown, m.nodes)
+	m.nodes = grown
+}
+
+// growSubtable doubles a level's bucket array and rehashes its chains.
+// Stats are the caller's job (the parallel path counts into worker-local
+// stats instead of the shared struct).
 func (m *Manager) growSubtable(level int32) {
-	m.stats.UniqueGrows++
 	st := &m.subtables[level]
 	nb := len(st.buckets) * 2
 	buckets := make([]int32, nb)
@@ -180,15 +200,29 @@ func (m *Manager) growSubtable(level int32) {
 // to the free list, and selectively invalidates the computed cache: only
 // entries that mention a reclaimed node are dropped, the rest stay valid.
 // Refs to live nodes are unaffected. It returns the number of nodes
-// reclaimed.
+// reclaimed. On a parallel manager this is a stop-the-world event that may
+// run while other operations are in flight (they park at safe points).
 func (m *Manager) GarbageCollect() int {
-	return m.gc(true)
+	if m.par == nil {
+		return m.gc(true)
+	}
+	e := m.par
+	e.opLease.RLock()
+	defer e.opLease.RUnlock()
+	var n int
+	e.stopTheWorldSynced(m, false, func() { n = m.gc(true) })
+	return n
 }
 
 // gc is GarbageCollect with control over the cache sweep. Reordering
 // passes sweepCache=false: it invalidates the whole cache afterwards with
 // a generation bump, so walking it entry by entry would be wasted work.
 func (m *Manager) gc(sweepCache bool) int {
+	if m.par != nil {
+		// Restore the serial invariant (dead nodes hold no child
+		// references) before sweeping; parallel mode defers those drops.
+		m.reconcileDeaths()
+	}
 	if m.deadCount == 0 {
 		return 0
 	}

@@ -22,10 +22,20 @@ const HistorySchema = 1
 // HistoryRecord is one benchmark run appended by `make bench-save`
 // (tables -table 1 -bench-save).
 type HistoryRecord struct {
-	Schema int         `json:"schema"`
-	When   string      `json:"when"`  // RFC3339 timestamp of the run
-	Suite  string      `json:"suite"` // e.g. "table1-small", "table1-paper"
-	Rows   []Table1Row `json:"rows"`
+	Schema  int         `json:"schema"`
+	When    string      `json:"when"`              // RFC3339 timestamp of the run
+	Suite   string      `json:"suite"`             // e.g. "table1-small", "table1-paper"
+	Workers int         `json:"workers,omitempty"` // BDD engine workers (0/absent = 1, the serial engine)
+	Rows    []Table1Row `json:"rows"`
+}
+
+// normWorkers maps the omitted/zero workers of pre-parallel records to the
+// serial engine they ran on.
+func (r *HistoryRecord) normWorkers() int {
+	if r.Workers <= 0 {
+		return 1
+	}
+	return r.Workers
 }
 
 // History is the whole trajectory file: newest record last.
@@ -95,6 +105,28 @@ func (h *History) Latest2() (prev, cur *HistoryRecord, ok bool) {
 		return nil, nil, false
 	}
 	return &h.Records[n-2], &h.Records[n-1], true
+}
+
+// LatestComparable returns the most recent record paired with the latest
+// earlier record of the same suite and worker count. Serial and parallel
+// runs have genuinely different peak-node profiles (the concurrent image
+// tree trades peak product for overlap, and deferred death keeps nodes
+// alive across a parallel section), so a regression gate only means
+// something within one engine mode; histories that alternate
+// serial/parallel records therefore track two interleaved trajectories.
+func (h *History) LatestComparable() (prev, cur *HistoryRecord, ok bool) {
+	n := len(h.Records)
+	if n < 2 {
+		return nil, nil, false
+	}
+	cur = &h.Records[n-1]
+	for i := n - 2; i >= 0; i-- {
+		p := &h.Records[i]
+		if p.Suite == cur.Suite && p.normWorkers() == cur.normWorkers() {
+			return p, cur, true
+		}
+	}
+	return nil, cur, false
 }
 
 // Regression tolerance: wall time may grow 15% and peak live nodes 25%
@@ -192,7 +224,8 @@ func compareMethod(ckt, method string, p, c MethodResult) []Regression {
 // are visible too. Returns the number of regressions.
 func WriteComparison(w io.Writer, prev, cur *HistoryRecord) int {
 	regs := CompareRecords(prev, cur)
-	fmt.Fprintf(w, "bench-cmp: %s (%s) vs %s (%s)\n", prev.When, prev.Suite, cur.When, cur.Suite)
+	fmt.Fprintf(w, "bench-cmp: %s (%s, workers=%d) vs %s (%s, workers=%d)\n",
+		prev.When, prev.Suite, prev.normWorkers(), cur.When, cur.Suite, cur.normWorkers())
 	prevRows := make(map[string]Table1Row, len(prev.Rows))
 	for _, r := range prev.Rows {
 		prevRows[r.Ckt] = r

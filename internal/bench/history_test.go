@@ -185,3 +185,39 @@ func TestWriteTable1JSONRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestLatestComparablePairsByWorkers: serial and parallel bench-save
+// records form two interleaved trajectories; the comparison must pair like
+// with like (a parallel image tree legitimately peaks higher than the
+// serial cluster chain, so cross-mode deltas are not regressions).
+func TestLatestComparablePairsByWorkers(t *testing.T) {
+	r1 := record("2026-08-07T10:00:00Z", 1.0) // workers absent = serial
+	r2 := record("2026-08-07T11:00:00Z", 1.3)
+	r2.Workers = 4
+	r3 := record("2026-08-07T12:00:00Z", 1.32)
+	r3.Workers = 4
+
+	h := &History{Records: []HistoryRecord{r1, r2, r3}}
+	prev, cur, ok := h.LatestComparable()
+	if !ok || prev.When != r2.When || cur.When != r3.When {
+		t.Fatalf("parallel pair = %v, %v, %v; want r2, r3", prev, cur, ok)
+	}
+
+	// A serial record appended after the parallel pair must reach back to
+	// the serial baseline, skipping the parallel records in between.
+	r4 := record("2026-08-07T13:00:00Z", 1.02)
+	r4.Workers = 1
+	h.Records = append(h.Records, r4)
+	prev, cur, ok = h.LatestComparable()
+	if !ok || prev.When != r1.When || cur.When != r4.When {
+		t.Fatalf("serial pair = %v, %v, %v; want r1, r4", prev, cur, ok)
+	}
+
+	// A lone parallel record has no baseline yet.
+	h2 := &History{Records: []HistoryRecord{r1, r2}}
+	if p, c, ok := h2.LatestComparable(); ok {
+		t.Fatalf("lone parallel record claims baseline %v vs %v", p, c)
+	} else if c == nil || c.When != r2.When {
+		t.Fatalf("cur = %v, want the latest record", c)
+	}
+}

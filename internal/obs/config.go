@@ -144,6 +144,9 @@ func (s *Session) ObserveManager(m *bdd.Manager) {
 	r.GaugeFunc("bdd_unique_lookups", func() float64 { return float64(m.Stats().UniqueLookups) })
 	r.GaugeFunc("bdd_unique_hits", func() float64 { return float64(m.Stats().UniqueHits) })
 	r.GaugeFunc("bdd_unique_grows", func() float64 { return float64(m.Stats().UniqueGrows) })
+	r.GaugeFunc("bdd_workers", func() float64 { return float64(m.Workers()) })
+	r.GaugeFunc("bdd_tasks_stolen", func() float64 { return float64(m.Stats().TasksStolen) })
+	r.GaugeFunc("bdd_tasks_local", func() float64 { return float64(m.Stats().TasksLocal) })
 	if s.Tracer != nil {
 		s.Tracer.LiveNodes = m.NodeCount
 	}

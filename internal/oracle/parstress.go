@@ -1,0 +1,233 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bddkit/internal/bdd"
+)
+
+// Concurrent stress driver for the parallel BDD engine: several client
+// goroutines hammer one shared manager with builds, ITE, quantification,
+// and composition while garbage collection and dynamic reordering fire
+// from a separate goroutine. Every produced function is cross-checked
+// against the expression tree's reference semantics on sampled
+// assignments, so a lost update in the lock-striped unique table or a
+// torn cache entry shows up as a semantic divergence, not just a race
+// report. Run under -race for the memory-model half of the check.
+
+// ParStressConfig parameterizes a concurrent stress run. The zero value
+// selects the defaults via normalize.
+type ParStressConfig struct {
+	// Seed drives every random choice; equal seeds give equal op mixes.
+	Seed int64
+	// Goroutines is the number of concurrent clients (default 8).
+	Goroutines int
+	// Rounds is the number of build/quantify/compose rounds per client
+	// (default 30).
+	Rounds int
+	// Vars is the number of manager variables (default 12).
+	Vars int
+	// Workers configures the manager's parallel engine (default 4).
+	Workers int
+	// Depth is the generated expression depth (default 5).
+	Depth int
+	// Samples is the number of assignments checked per produced function
+	// (default 32).
+	Samples int
+	// ReorderThreshold arms automatic sifting (default 4096).
+	ReorderThreshold int
+}
+
+func (cfg *ParStressConfig) normalize() {
+	if cfg.Goroutines <= 0 {
+		cfg.Goroutines = 8
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 30
+	}
+	if cfg.Vars <= 0 {
+		cfg.Vars = 12
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 5
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 32
+	}
+	if cfg.ReorderThreshold <= 0 {
+		cfg.ReorderThreshold = 4096
+	}
+}
+
+// ParStressResult summarizes a completed concurrent run.
+type ParStressResult struct {
+	Rounds      int   // total rounds completed across all clients
+	GCs         int64 // garbage collections observed by the manager
+	Reorderings int64 // reordering passes observed by the manager
+	TasksStolen int64 // parallel subproblems executed by thief workers
+	TasksLocal  int64 // forked subproblems reclaimed at join
+}
+
+// RunParallelStress executes the concurrent hammer and returns the first
+// semantic divergence, DebugCheck violation, or leak found.
+func RunParallelStress(cfg ParStressConfig) (ParStressResult, error) {
+	cfg.normalize()
+	bcfg := bdd.DefaultConfig()
+	bcfg.Workers = cfg.Workers
+	m := bdd.NewWithConfig(cfg.Vars, bcfg)
+	m.EnableAutoReorder(cfg.ReorderThreshold)
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+		rounds  int
+	)
+	report := func(err error) {
+		mu.Lock()
+		if firstEr == nil {
+			firstEr = err
+		}
+		mu.Unlock()
+	}
+
+	for c := 0; c < cfg.Goroutines; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen := NewGen(cfg.Seed+int64(c)*7919, cfg.Vars)
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(c)<<32))
+			for round := 0; round < cfg.Rounds; round++ {
+				if err := parStressRound(m, gen, rng, cfg); err != nil {
+					report(fmt.Errorf("client %d round %d: %w", c, round, err))
+					return
+				}
+				mu.Lock()
+				rounds++
+				mu.Unlock()
+			}
+		}(c)
+	}
+
+	// Lifecycle hammer: explicit GC and reordering interleave with the
+	// clients, forcing the quiescence barrier while operations are in
+	// flight. Throttled — every event stops the world, and an unthrottled
+	// loop would serialize the clients into a crawl.
+	lifecycleDone := make(chan struct{})
+	clientsDone := make(chan struct{})
+	go func() { wg.Wait(); close(clientsDone) }()
+	go func() {
+		defer close(lifecycleDone)
+		for i := 0; ; i++ {
+			select {
+			case <-clientsDone:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			if i%3 == 2 {
+				m.Reorder(bdd.ReorderSift, bdd.SiftConfig{MaxVars: 4})
+			} else {
+				m.GarbageCollect()
+			}
+		}
+	}()
+	<-clientsDone
+	<-lifecycleDone
+	// One reordering on the quiet manager so the result counters are
+	// populated even when the clients outpace the throttled hammer.
+	m.Reorder(bdd.ReorderSift, bdd.SiftConfig{})
+
+	res := ParStressResult{Rounds: rounds}
+	if firstEr != nil {
+		return res, firstEr
+	}
+	if err := m.DebugCheck(); err != nil {
+		return res, fmt.Errorf("DebugCheck after concurrent run: %w", err)
+	}
+	m.GarbageCollect()
+	if got, want := m.ReferencedNodeCount(), cfg.Vars; got != want {
+		return res, fmt.Errorf("after the run %d nodes stay referenced, want %d (leak or double free)", got, want)
+	}
+	st := m.Stats()
+	res.GCs = st.GCs
+	res.Reorderings = st.Reorderings
+	res.TasksStolen = st.TasksStolen
+	res.TasksLocal = st.TasksLocal
+	return res, nil
+}
+
+// parStressRound builds one random expression and derives quantified and
+// composed functions from it, verifying each against the expression's
+// reference semantics on sampled assignments.
+func parStressRound(m *bdd.Manager, gen *Gen, rng *rand.Rand, cfg ParStressConfig) error {
+	e1 := gen.Expr(cfg.Depth)
+	f1 := e1.Build(m)
+	defer m.Deref(f1)
+
+	check := func(op string, f bdd.Ref, ref func(a []bool) bool) error {
+		a := make([]bool, cfg.Vars)
+		for s := 0; s < cfg.Samples; s++ {
+			for i := range a {
+				a[i] = rng.Intn(2) == 1
+			}
+			if m.Eval(f, a) != ref(a) {
+				return fmt.Errorf("%s diverges from reference semantics at %v", op, a)
+			}
+		}
+		return nil
+	}
+	if err := check("build", f1, e1.Eval); err != nil {
+		return err
+	}
+
+	v := rng.Intn(cfg.Vars)
+	ex := m.Exists(f1, []int{v})
+	defer m.Deref(ex)
+	if err := check("exists", ex, func(a []bool) bool {
+		b := append([]bool(nil), a...)
+		b[v] = false
+		if e1.Eval(b) {
+			return true
+		}
+		b[v] = true
+		return e1.Eval(b)
+	}); err != nil {
+		return err
+	}
+
+	e2 := gen.Expr(cfg.Depth - 2)
+	f2 := e2.Build(m)
+	defer m.Deref(f2)
+	cp := m.Compose(f1, v, f2)
+	err := check("compose", cp, func(a []bool) bool {
+		b := append([]bool(nil), a...)
+		b[v] = e2.Eval(a)
+		return e1.Eval(b)
+	})
+	m.Deref(cp)
+	if err != nil {
+		return err
+	}
+
+	ite := m.ITE(f1, f2, ex)
+	err = check("ite", ite, func(a []bool) bool {
+		if e1.Eval(a) {
+			return e2.Eval(a)
+		}
+		b := append([]bool(nil), a...)
+		b[v] = false
+		if e1.Eval(b) {
+			return true
+		}
+		b[v] = true
+		return e1.Eval(b)
+	})
+	m.Deref(ite)
+	return err
+}

@@ -1,0 +1,77 @@
+package oracle
+
+import (
+	"testing"
+
+	"bddkit/internal/bdd"
+)
+
+// TestParallelStress is the concurrent acceptance run: 8 client goroutines
+// build, quantify, and compose on one Workers=4 manager while GC and
+// reordering fire from a lifecycle goroutine. The Makefile runs this
+// package under -race, which turns the run into the memory-model check.
+func TestParallelStress(t *testing.T) {
+	cfg := ParStressConfig{Seed: 1}
+	if testing.Short() {
+		cfg.Rounds = 8
+	}
+	res, err := RunParallelStress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GCs == 0 {
+		t.Fatal("no garbage collection happened during the concurrent run")
+	}
+	if res.Reorderings == 0 {
+		t.Fatal("no reordering happened during the concurrent run")
+	}
+}
+
+// TestSerialStressOnParallelManager replays the full differential
+// op-sequence driver (GC, reordering, save/load interleaved, DebugCheck
+// every step) against a Workers=4 manager from a single client. Every
+// divergence here is a bug in the parallel entry points or the exclusive
+// sections, with none of the scheduling noise of the concurrent run.
+func TestSerialStressOnParallelManager(t *testing.T) {
+	steps := 600
+	if testing.Short() {
+		steps = 150
+	}
+	if _, err := RunStress(StressConfig{Seed: 3, Steps: steps, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkersDeterminism: the parallel engine must compute the same
+// functions as the serial reference engine across the expression corpus,
+// and rebuilding a function on the same parallel manager must return the
+// identical Ref (canonicity is scheduling-independent).
+func TestWorkersDeterminism(t *testing.T) {
+	const vars = 12
+	const exprs = 40
+	m1 := bdd.New(vars)
+	cfg4 := bdd.DefaultConfig()
+	cfg4.Workers = 4
+	m4 := bdd.NewWithConfig(vars, cfg4)
+	chk := NewChecker(11)
+
+	gen := NewGen(17, vars)
+	for i := 0; i < exprs; i++ {
+		e := gen.Expr(6)
+		f1 := e.Build(m1)
+		f4 := e.Build(m4)
+		if err := chk.EqualAcross(m1, f1, m4, f4); err != nil {
+			t.Fatalf("expr %d: Workers=1 and Workers=4 disagree: %v", i, err)
+		}
+		again := e.Build(m4)
+		if again != f4 {
+			t.Fatalf("expr %d: rebuilding on the parallel manager gave ref %v, first build %v", i, again, f4)
+		}
+		m4.Deref(again)
+		m1.Deref(f1)
+		m4.Deref(f4)
+	}
+	if err := m4.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,12 @@ type StressConfig struct {
 	// ReorderThreshold arms automatic sifting at this live-node count
 	// (default 256, low enough to fire many times per run).
 	ReorderThreshold int
+	// Workers configures the manager's parallel engine (default 0: the
+	// serial reference engine). The driver itself stays single-threaded,
+	// so with Workers > 1 it exercises the parallel entry points and the
+	// quiescence interop of GC/reorder/save-load without scheduling
+	// nondeterminism.
+	Workers int
 }
 
 func (cfg *StressConfig) normalize() {
@@ -79,7 +85,9 @@ type poolEntry struct {
 func RunStress(cfg StressConfig) (StressResult, error) {
 	cfg.normalize()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := bdd.New(cfg.Vars)
+	bcfg := bdd.DefaultConfig()
+	bcfg.Workers = cfg.Workers
+	m := bdd.NewWithConfig(cfg.Vars, bcfg)
 	m.EnableAutoReorder(cfg.ReorderThreshold)
 	res := StressResult{Ops: make(map[string]int)}
 

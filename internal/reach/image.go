@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"sync"
 	"time"
 
 	"bddkit/internal/approx"
@@ -120,6 +121,24 @@ func (tr *TR) Image(from bdd.Ref, pimg *PImg, st *ImageStats) (res bdd.Ref) {
 	}()
 	st.Images++
 	cur := m.ExistsCube(from, tr.PreCube)
+	if pimg == nil && len(tr.Clusters) > 1 && m.Workers() > 1 {
+		// Concurrent path: the image is exact either way, so canonicity
+		// makes the tree agree Ref-for-Ref with the serial chain below.
+		// Partial-image cuts depend on the conjunction order, so a non-nil
+		// pimg keeps the serial schedule.
+		var aborted bool
+		cur, aborted = tr.imageTree(cur, st)
+		if aborted {
+			st.Aborted = true
+			return m.Ref(bdd.Zero)
+		}
+		res = m.Permute(cur, tr.n2s)
+		m.Deref(cur)
+		if live := m.NodeCount(); live > st.PeakLiveNodes {
+			st.PeakLiveNodes = live
+		}
+		return res
+	}
 	for k, c := range tr.Clusters {
 		if !st.Deadline.IsZero() && time.Now().After(st.Deadline) {
 			st.Aborted = true
@@ -156,4 +175,133 @@ func (tr *TR) Image(from bdd.Ref, pimg *PImg, st *ImageStats) (res bdd.Ref) {
 		st.PeakLiveNodes = live
 	}
 	return res
+}
+
+// imageTree conjoins the frontier with the clusters by a balanced pairwise
+// reduction tree instead of the serial left-deep chain: each level merges
+// adjacent operands with AndExists in concurrent goroutines on the shared
+// manager, so independent relational products overlap. The quantification
+// schedule is recomputed per level from the live supports: a present-state
+// or input variable is abstracted inside the pair that holds its last
+// remaining occurrences (∃v.(f∧g) = (∃v.f)∧g needs v ∉ supp(g), so a
+// variable may only be quantified once its support collapses into a single
+// pair). Takes ownership of cur; returns the exact image frontier over the
+// next-state variables, before the Permute back to present-state.
+//
+// A bdd.OpAborted raised inside a worker goroutine is captured and
+// re-panicked on the calling goroutine after the level joins, so Image's
+// recover sees it exactly as on the serial path.
+func (tr *TR) imageTree(cur bdd.Ref, st *ImageStats) (res bdd.Ref, aborted bool) {
+	m := tr.M
+	quantifiable := make(map[int]bool, len(tr.StateVars)+len(tr.InputVars))
+	for _, v := range tr.StateVars {
+		quantifiable[v] = true
+	}
+	for _, v := range tr.InputVars {
+		quantifiable[v] = true
+	}
+	items := make([]bdd.Ref, 0, len(tr.Clusters)+1)
+	items = append(items, cur)
+	for _, c := range tr.Clusters {
+		items = append(items, m.Ref(c))
+	}
+	release := func() {
+		for _, f := range items {
+			m.Deref(f)
+		}
+	}
+	for len(items) > 1 {
+		if !st.Deadline.IsZero() && time.Now().After(st.Deadline) {
+			release()
+			return bdd.Zero, true
+		}
+		// Support census over the remaining operands.
+		occ := make(map[int]int)
+		supports := make([][]int, len(items))
+		for i, f := range items {
+			supports[i] = m.SupportVars(f)
+			for _, v := range supports[i] {
+				if quantifiable[v] {
+					occ[v]++
+				}
+			}
+		}
+		pairs := len(items) / 2
+		next := make([]bdd.Ref, pairs)
+		panics := make([]any, pairs)
+		cubes := make([]bdd.Ref, pairs)
+		for p := 0; p < pairs; p++ {
+			inPair := make(map[int]int)
+			for _, side := range [2][]int{supports[2*p], supports[2*p+1]} {
+				for _, v := range side {
+					if quantifiable[v] {
+						inPair[v]++
+					}
+				}
+			}
+			var qv []int
+			for v, n := range inPair {
+				if occ[v] == n {
+					qv = append(qv, v)
+				}
+			}
+			cubes[p] = m.CubeFromVars(qv)
+		}
+		var wg sync.WaitGroup
+		for p := 0; p < pairs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				defer func() { panics[p] = recover() }()
+				next[p] = m.AndExists(items[2*p], items[2*p+1], cubes[p])
+			}(p)
+		}
+		wg.Wait()
+		for p := 0; p < pairs; p++ {
+			m.Deref(cubes[p])
+		}
+		for _, r := range panics {
+			if r != nil {
+				for p := 0; p < pairs; p++ {
+					if panics[p] == nil {
+						m.Deref(next[p])
+					}
+				}
+				release()
+				panic(r)
+			}
+		}
+		merged := make([]bdd.Ref, 0, pairs+1)
+		for p := 0; p < pairs; p++ {
+			m.Deref(items[2*p])
+			m.Deref(items[2*p+1])
+			merged = append(merged, next[p])
+			st.AndExists++
+			if sz := m.DagSize(next[p]); sz > st.PeakProduct {
+				st.PeakProduct = sz
+			}
+		}
+		if len(items)%2 == 1 {
+			merged = append(merged, items[len(items)-1])
+		}
+		items = merged
+	}
+	res = items[0]
+	// The final merge quantified every remaining schedulable variable (at
+	// that point its support is necessarily confined to the last pair);
+	// sweep up defensively in case the loop ran zero levels.
+	var left []int
+	for _, v := range m.SupportVars(res) {
+		if quantifiable[v] {
+			left = append(left, v)
+		}
+	}
+	if len(left) > 0 {
+		cube := m.CubeFromVars(left)
+		out := m.ExistsCube(res, cube)
+		m.Deref(cube)
+		m.Deref(res)
+		res = out
+	}
+	return res, false
 }

@@ -1,0 +1,129 @@
+package reach
+
+import (
+	"runtime"
+	"testing"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+	"bddkit/internal/model"
+)
+
+// compilePar builds a model on a manager with the parallel engine armed.
+func compilePar(t *testing.T, nl *circuit.Netlist, workers int) *circuit.Compiled {
+	t.Helper()
+	cfg := bdd.DefaultConfig()
+	cfg.Workers = workers
+	c, err := circuit.Compile(nl, circuit.CompileOptions{BDDConfig: &cfg})
+	if err != nil {
+		t.Fatalf("%s: %v", nl.Name, err)
+	}
+	return c
+}
+
+// evalStates compares two state predicates living on different managers by
+// exhaustive evaluation over the state bits (inputs pinned to false; the
+// sets are over present-state variables only).
+func sameStateSet(ser, par *circuit.Compiled, fs, fp bdd.Ref) (bool, []bool) {
+	k := len(ser.StateVars)
+	for i := 0; i < 1<<uint(k); i++ {
+		as := make([]bool, ser.M.NumVars())
+		ap := make([]bool, par.M.NumVars())
+		st := make([]bool, k)
+		for j := 0; j < k; j++ {
+			bit := i>>uint(j)&1 == 1
+			st[j] = bit
+			as[ser.StateVars[j]] = bit
+			ap[par.StateVars[j]] = bit
+		}
+		if ser.M.Eval(fs, as) != par.M.Eval(fp, ap) {
+			return false, st
+		}
+	}
+	return true, nil
+}
+
+// TestParallelImageMatchesSerial: the concurrent reduction-tree image and
+// the serial cluster chain compute the same exact image, checked state by
+// state across two managers on every step of a short traversal.
+func TestParallelImageMatchesSerial(t *testing.T) {
+	for name, nl := range map[string]*circuit.Netlist{
+		"counter": counterNetlist(6),
+		"s1269":   model.S1269(model.S1269Small()),
+		"s3330":   model.S3330(model.S3330Small()),
+	} {
+		ser := compile(t, nl)
+		par := compilePar(t, nl, 4)
+		trS, err := NewTR(ser, DefaultTROptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trP, err := NewTR(par, DefaultTROptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stS, stP ImageStats
+		fs := ser.M.Ref(ser.Init)
+		fp := par.M.Ref(par.Init)
+		for step := 0; step < 6; step++ {
+			nextS := trS.Image(fs, nil, &stS)
+			nextP := trP.Image(fp, nil, &stP)
+			if ok, at := sameStateSet(ser, par, nextS, nextP); !ok {
+				t.Fatalf("%s: serial and parallel image disagree at step %d, state %v",
+					name, step, at)
+			}
+			ser.M.Deref(fs)
+			par.M.Deref(fp)
+			fs, fp = nextS, nextP
+		}
+		ser.M.Deref(fs)
+		par.M.Deref(fp)
+		if stP.AndExists == 0 {
+			t.Fatalf("%s: parallel path performed no relational products", name)
+		}
+		if err := par.M.DebugCheck(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		trS.Release()
+		trP.Release()
+		ser.Release()
+		par.Release()
+	}
+}
+
+// TestParallelBFSMatchesSerial: full reachability on a Workers=GOMAXPROCS
+// manager converges to the same state count and iteration count as the
+// serial engine.
+func TestParallelBFSMatchesSerial(t *testing.T) {
+	nl := model.S5378(model.S5378Small())
+	ser := compile(t, nl)
+	par := compilePar(t, nl, runtime.GOMAXPROCS(0))
+	trS, err := NewTR(ser, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trP, err := NewTR(par, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS := trS.BFS(ser.Init, Options{})
+	resP := trP.BFS(par.Init, Options{})
+	if resS.States != resP.States {
+		t.Fatalf("reachable states: serial %v, parallel %v", resS.States, resP.States)
+	}
+	if resS.Iterations != resP.Iterations {
+		t.Fatalf("iterations: serial %d, parallel %d", resS.Iterations, resP.Iterations)
+	}
+	if ok, at := sameStateSet(ser, par, resS.Reached, resP.Reached); !ok {
+		t.Fatalf("reached sets disagree at state %v", at)
+	}
+	ser.M.Deref(resS.Reached)
+	par.M.Deref(resP.Reached)
+	if err := par.M.DebugCheck(); err != nil {
+		t.Fatal(err)
+	}
+	trS.Release()
+	trP.Release()
+	ser.Release()
+	par.Release()
+}

@@ -1,0 +1,47 @@
+package bdd
+
+import (
+	"sync"
+	"testing"
+)
+
+// probe: readLocked traversal vs stop-the-world growArena.
+func TestProbeReadLockedVsGrow(t *testing.T) {
+	m := NewWithConfig(24, Config{InitialNodes: 256, Workers: 4})
+	// a stable function to traverse
+	f := m.And(m.vars[0], m.vars[1])
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.SupportVars(f)
+			m.DagSize(f)
+		}
+	}()
+	// builder: force many allocations -> growArena
+	g := m.Ref(One)
+	for i := 0; i < 24; i++ {
+		ng := m.Xor(g, m.vars[i])
+		h := m.And(ng, m.vars[(i+5)%24])
+		m.Deref(h)
+		m.Deref(g)
+		g = ng
+	}
+	for r := 0; r < 200; r++ {
+		a := m.Xor(g, m.vars[r%24])
+		b := m.And(a, m.vars[(r+7)%24])
+		c := m.ITE(a, b, g)
+		m.Deref(c)
+		m.Deref(b)
+		m.Deref(a)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,15 +1,19 @@
 GO ?= go
 BENCH_HISTORY ?= BENCH_reach.json
 FUZZTIME ?= 10s
+WORKERS ?= 1
+OBS_PAR_ADDR ?= 127.0.0.1:6171
 
-.PHONY: check test vet build race fuzz-smoke bench bench-save bench-cmp obs-smoke profile-smoke
+.PHONY: check test vet build race fuzz-smoke bench bench-save bench-cmp obs-smoke obs-par-smoke profile-smoke
 
 ## check: vet, build, test everything, race-test the BDD core and the
 ## oracle stress driver, smoke the fuzz targets, then smoke the
 ## observability layer end to end (trace schema + required spans,
-## structural profiler, benchmark trajectory in advisory mode).
-check: vet build test race fuzz-smoke obs-smoke profile-smoke
+## structural profiler, parallel telemetry + Amdahl breakdown, benchmark
+## trajectory and scaling curve in advisory mode).
+check: vet build test race fuzz-smoke obs-smoke obs-par-smoke profile-smoke
 	$(GO) run ./cmd/tables -bench-cmp $(BENCH_HISTORY) -bench-advisory
+	$(GO) run ./cmd/tables -speedup $(BENCH_HISTORY) -bench-advisory
 
 ## vet: static analysis plus race-testing the packages with lock-free fast
 ## paths (the obs registry/tracer and the BDD core).
@@ -56,9 +60,10 @@ bench:
 
 ## bench-save: run Table 1 (small scale) and append a schema-versioned
 ## record to the benchmark trajectory file. Run twice (or on two commits)
-## and `make bench-cmp` diffs the latest pair.
+## and `make bench-cmp` diffs the latest pair. Records are tagged with
+## $(WORKERS); save at WORKERS=1 and WORKERS=4 to feed `tables -speedup`.
 bench-save:
-	$(GO) run ./cmd/tables -table 1 -bench-save $(BENCH_HISTORY) >/dev/null
+	$(GO) run ./cmd/tables -table 1 -workers $(WORKERS) -bench-save $(BENCH_HISTORY) >/dev/null
 
 ## bench-cmp: compare the two most recent trajectory records; fails on a
 ## >15% wall-time or >25% peak-node regression (beyond absolute floors).
@@ -75,6 +80,31 @@ obs-smoke:
 		-require reach.cluster,reach.iteration,reach.image,reach.subset,reach.profile,approx.rua \
 		/tmp/bddkit-obs-smoke.jsonl
 	$(GO) run ./cmd/traceview summary /tmp/bddkit-obs-smoke.jsonl | head -20
+
+## obs-par-smoke: end-to-end check of the parallel observability stack —
+## run a Workers=4 traversal with sampling armed and the live endpoint up
+## (-obs-linger keeps it serving briefly after the run so the curls always
+## land), scrape /parallel and /metrics, validate the v2 trace vocabulary
+## (bdd.contention is always emitted on a parallel run), and render the
+## Amdahl stop-the-world breakdown.
+obs-par-smoke:
+	$(GO) build -o /tmp/bddkit-reach-par ./cmd/reach
+	/tmp/bddkit-reach-par -in testdata/counter.net -method bfs -workers 4 \
+		-par-sample 64 -obs $(OBS_PAR_ADDR) -obs-linger 6s \
+		-trace /tmp/bddkit-obs-par-smoke.jsonl >/dev/null & \
+	pid=$$!; \
+	ok=1; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://$(OBS_PAR_ADDR)/parallel >/tmp/bddkit-par-smoke-parallel.json 2>/dev/null \
+			&& grep -q '"workers": *4' /tmp/bddkit-par-smoke-parallel.json; then ok=0; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$ok -ne 0 ]; then echo "obs-par-smoke: /parallel never reported workers=4"; kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -sf http://$(OBS_PAR_ADDR)/metrics | grep -q 'bdd_stw_total' || { echo "obs-par-smoke: /metrics missing bdd_stw_total"; kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid
+	$(GO) run ./cmd/obscheck -quiet -require bdd.contention /tmp/bddkit-obs-par-smoke.jsonl
+	$(GO) run ./cmd/traceview amdahl /tmp/bddkit-obs-par-smoke.jsonl
+	@echo "obs-par-smoke OK"
 
 ## profile-smoke: exercise the structural profiler — forest profile with
 ## the live-node cross-check, plus a single-output profile after RUA.

@@ -1,9 +1,11 @@
 // Command obscheck validates a JSONL trace file produced by the -trace
 // flag of the other commands: every line must be a well-formed span or
-// event record (see internal/obs). It prints a one-line summary and exits
-// nonzero on the first malformed line (reported with its 1-based line
-// number), which makes it usable as a smoke check in CI (see
-// `make obs-smoke` and `make check`).
+// event record (see internal/obs), including the schema-versioned v2
+// parallel-engine vocabulary (bdd.stw, bdd.stall, bdd.contention) whose
+// known attributes are checked field-by-field. It prints a one-line
+// summary and exits nonzero on the first malformed line (reported with its
+// 1-based line number), which makes it usable as a smoke check in CI (see
+// `make obs-smoke`, `make obs-par-smoke`, and `make check`).
 //
 // Usage:
 //
@@ -66,8 +68,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("%s: %d lines OK (%d spans, %d events)\n",
-		path, sum.Lines, sum.Spans, sum.Events)
+	version := "v1 legacy"
+	if sum.Version > 0 {
+		version = fmt.Sprintf("schema v%d", sum.Version)
+	}
+	fmt.Printf("%s: %d lines OK (%d spans, %d events, %s)\n",
+		path, sum.Lines, sum.Spans, sum.Events, version)
 	if *quiet {
 		return
 	}

@@ -11,6 +11,11 @@
 // -bench-cmp BENCH_reach.json` diffs the two most recent records, exiting
 // nonzero when wall time or peak live nodes regressed beyond tolerance
 // (see internal/bench/history.go and `make bench-save` / `make bench-cmp`).
+// Records are tagged with the worker count that produced them; after
+// saving baselines at -workers 1 and -workers N, `tables -speedup
+// BENCH_reach.json` reports the scaling curve (speedup, parallel
+// efficiency, and the share of the perfect-scaling gap explained by
+// stop-the-world time).
 //
 // See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
@@ -34,7 +39,8 @@ func main() {
 	jsonOut := flag.String("json", "", "also write Table 1 rows with per-phase breakdowns as JSON to this `file` (\"-\" = stdout)")
 	benchSave := flag.String("bench-save", "", "append this run's Table 1 rows to the benchmark history `file` (see `make bench-save`)")
 	benchCmp := flag.String("bench-cmp", "", "compare the two most recent records of the benchmark history `file` and exit (no tables are run)")
-	benchAdvisory := flag.Bool("bench-advisory", false, "with -bench-cmp: report regressions but exit 0")
+	benchAdvisory := flag.Bool("bench-advisory", false, "with -bench-cmp or -speedup: report findings but exit 0")
+	speedup := flag.String("speedup", "", "report the speedup curve (serial vs workers-tagged records) of the benchmark history `file` and exit")
 	workers := flag.Int("workers", 1, "BDD engine worker goroutines (1 = serial reference engine, 0 = GOMAXPROCS)")
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
@@ -43,6 +49,9 @@ func main() {
 
 	if *benchCmp != "" {
 		os.Exit(runBenchCmp(*benchCmp, *benchAdvisory))
+	}
+	if *speedup != "" {
+		os.Exit(runSpeedup(*speedup, *benchAdvisory))
 	}
 
 	switch *table {
@@ -190,6 +199,23 @@ func runBenchCmp(path string, advisory bool) int {
 	}
 	n := bench.WriteComparison(os.Stdout, prev, cur)
 	if n > 0 && !advisory {
+		return 1
+	}
+	return 0
+}
+
+// runSpeedup implements -speedup: derive the scaling curve from the
+// workers-tagged records of the history and fail (unless advisory) when no
+// serial/parallel pair exists — a CI leg that silently compares nothing
+// would report "no regressions" forever.
+func runSpeedup(path string, advisory bool) int {
+	h, err := bench.LoadHistory(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	points := bench.SpeedupCurves(h)
+	if bench.WriteSpeedup(os.Stdout, points) == 0 && !advisory {
 		return 1
 	}
 	return 0

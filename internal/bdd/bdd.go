@@ -211,6 +211,15 @@ type Stats struct {
 
 	TasksStolen int64 // parallel subproblems executed by a different worker
 	TasksLocal  int64 // forked subproblems reclaimed by their owner at join
+
+	// Quiescence accounting on a parallel manager: write-lease /
+	// stop-the-world epochs (GC, reorder, cache resize, load, ...) and the
+	// total wall time the engine spent excluded (drain wait + exclusion);
+	// this is the serial fraction an Amdahl breakdown attributes speedup
+	// loss to. Always zero on a serial manager. Per-cause detail is in
+	// Manager.ParTelemetry.
+	STWCount int64
+	STWTime  time.Duration
 }
 
 // New creates a Manager with numVars variables (indexed 0..numVars-1, with
@@ -284,6 +293,7 @@ func (m *Manager) addVarLocked() Ref {
 	v := m.addVarS()
 	if m.par != nil {
 		m.par.tableMu = append(m.par.tableMu, padMutex{})
+		m.par.growLevelHeat(len(m.subtables))
 	}
 	return v
 }
@@ -499,6 +509,7 @@ func (m *Manager) Stats() Stats {
 	s := m.stats
 	s.TasksStolen = e.tasksStolen.Load()
 	s.TasksLocal = e.tasksLocal.Load()
+	s.STWCount, s.STWTime = e.stwTotals()
 	if p := int(e.peakLive.Load()); p > s.PeakLive {
 		s.PeakLive = p
 	}

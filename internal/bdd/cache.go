@@ -374,7 +374,7 @@ func (m *Manager) CacheInsert(op uint32, a, b, c Ref, res Ref) {
 // bump. Benchmarks use it to measure cold-cache operation cost; client
 // algorithms can use it to drop memoized results wholesale.
 func (m *Manager) ClearCache() {
-	m.exclusive(func() {
+	m.exclusiveCause(stwCacheResize, func() {
 		m.cache.invalidateAll()
 		m.stats.CacheGenerations++
 	})

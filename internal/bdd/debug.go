@@ -10,7 +10,7 @@ import "fmt"
 // the trace events leading up to the corruption.
 func (m *Manager) DebugCheck() error {
 	var err error
-	m.exclusive(func() { err = m.debugCheck() })
+	m.exclusiveCause(stwDebug, func() { err = m.debugCheck() })
 	if err != nil && observer != nil {
 		observer.DebugFailure(err)
 	}

@@ -29,6 +29,27 @@ type Observer interface {
 	DebugFailure(err error)
 }
 
+// ParObserver is an optional extension of Observer for parallel-engine
+// events. The engine type-asserts the installed Observer at each event
+// site, so serial-only observers need not implement it.
+type ParObserver interface {
+	// STW reports one completed write-lease / stop-the-world epoch on a
+	// parallel manager: the cause (gc, alloc, cache_resize, reorder,
+	// save_load, debug_check, exclusive), the manager's worker count, the
+	// drain/acquisition wait before exclusion held, and the exclusion
+	// duration itself. Called after the world is released.
+	STW(cause string, workers int, wait, pause time.Duration)
+	// Stall reports a stall-watchdog firing: the engine looked stuck for
+	// stuck (a quiescence barrier draining past its deadline, the write
+	// lease wedged, or a deque system with in-flight ops and no progress).
+	// report is a multi-line parallel-state dump (lease holder by cause,
+	// per-worker in-flight ops and deque depths, contention top-K) meant
+	// for the flight recorder. Called from the watchdog goroutine; the
+	// engine may still be live, so implementations must not call back into
+	// the manager.
+	Stall(report string, stuck time.Duration)
+}
+
 // observer is process-wide: one observability session watches every
 // manager, which keeps wiring trivial for the cmd binaries (managers are
 // created deep inside circuit compilation).

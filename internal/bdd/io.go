@@ -126,7 +126,7 @@ func (m *Manager) saveLocked(w io.Writer, names []string, roots []Ref) error {
 func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 	var out map[string]Ref
 	var err error
-	m.exclusive(func() { out, err = m.loadLocked(r) })
+	m.exclusiveCause(stwSaveLoad, func() { out, err = m.loadLocked(r) })
 	return out, err
 }
 

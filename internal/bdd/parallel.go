@@ -138,6 +138,10 @@ type parTask struct {
 	f, g, h Ref
 	res     Ref
 	state   atomic.Int32
+	// forkAt is set only on sampled forks (before the push, so the deque
+	// mutex orders it before any claim); a thief that claims the task
+	// derives its steal latency from it.
+	forkAt time.Time
 }
 
 // taskDeque is a mutex-protected spawn registry: owners push forked tasks at
@@ -149,7 +153,9 @@ type taskDeque struct {
 	tasks []*parTask
 }
 
-func (d *taskDeque) push(t *parTask) {
+// push appends t and returns the resulting depth (for sampled deque-depth
+// telemetry).
+func (d *taskDeque) push(t *parTask) int {
 	d.mu.Lock()
 	// Compact claimed/done entries opportunistically so the slice does not
 	// grow without bound across operations.
@@ -163,7 +169,9 @@ func (d *taskDeque) push(t *parTask) {
 		d.tasks = live
 	}
 	d.tasks = append(d.tasks, t)
+	n := len(d.tasks)
 	d.mu.Unlock()
+	return n
 }
 
 // steal claims the oldest queued task, preferring tasks of ctx when ctx is
@@ -199,13 +207,28 @@ type parWorker struct {
 	chunk     []int32 // private free arena slots
 	stats     Stats   // local deltas, flushed at endOp
 	allocTick int
+
+	telem workerTelem // sampled telemetry; goroutine-local writes
+
+	// Watchdog attribution: the operation (or stolen task) currently in
+	// flight on this worker, readable without locks.
+	opStart atomic.Int64 // unix nanos; 0 = idle
+	opCode  atomic.Int32
 }
 
 // yield parks the worker at a safe point while a stop-the-world is pending.
 // Callers must hold the memory lease and no engine locks, and must hold no
 // pointers into the node arena across the call (the arena may be swapped).
+// The re-entry wait is the time this worker spends parked for the
+// stop-the-world, so it is attributed to leaseWait when telemetry is armed.
 func (w *parWorker) yield() {
 	w.e.mem.exit()
+	if telemetryArmed() {
+		t0 := time.Now()
+		w.e.mem.enter()
+		w.telem.leaseWait.observe(time.Since(t0).Nanoseconds())
+		return
+	}
 	w.e.mem.enter()
 }
 
@@ -331,6 +354,19 @@ type parEngine struct {
 	all     atomic.Value // []*parWorker snapshot for steal scans
 	thieves atomic.Int32 // live thief goroutines
 	wake    chan struct{}
+
+	// Telemetry (see partelem.go). STW accounting is always on; the heat
+	// tables fill only on sampled acquisitions. The pending/held stamps are
+	// what the stall watchdog reads, so they are plain atomics settable
+	// without any engine lock.
+	stw             [stwNumCauses]stwCounter
+	stwPendingSince atomic.Int64 // unix nanos a stop-the-world began draining; 0 = none
+	stwPendingCause atomic.Int32
+	leaseHeldSince  atomic.Int64 // unix nanos the write lease was acquired; 0 = free
+	leaseCause      atomic.Int32
+	opsDone         atomic.Int64               // completed operations (watchdog progress signal)
+	levelHeat       atomic.Pointer[[]heatCell] // per-level sampled contention; grown under the write lease
+	stripeHeat      [cacheStripes]heatCell     // per-cache-stripe sampled contention
 }
 
 func newParEngine(m *Manager, workers int) *parEngine {
@@ -348,7 +384,24 @@ func newParEngine(m *Manager, workers int) *parEngine {
 	e.reorderThresholdA.Store(int64(m.reorderThreshold))
 	e.autoReorderA.Store(m.autoReorder)
 	e.all.Store([]*parWorker{})
+	heat := make([]heatCell, len(m.subtables))
+	e.levelHeat.Store(&heat)
 	return e
+}
+
+// growLevelHeat extends the per-level heat table alongside tableMu (AddVar
+// under the write lease); existing cells carry over so history survives.
+func (e *parEngine) growLevelHeat(levels int) {
+	old := *e.levelHeat.Load()
+	if len(old) >= levels {
+		return
+	}
+	grown := make([]heatCell, levels)
+	for i := range old {
+		grown[i].hits.Store(old[i].hits.Load())
+		grown[i].waitNS.Store(old[i].waitNS.Load())
+	}
+	e.levelHeat.Store(&grown)
 }
 
 // syncEnter folds the atomic counter deltas into the manager's plain fields.
@@ -393,27 +446,51 @@ func (e *parEngine) bumpPeak() {
 
 // stopTheWorldSynced wraps a stop-the-world with counter folding and the
 // stats lock (fn may read or write m.stats, racing Stats() snapshots
-// otherwise).
-func (e *parEngine) stopTheWorldSynced(m *Manager, haveLease bool, fn func()) {
+// otherwise). cause feeds the quiescence accountant: the drain time (wait)
+// and exclusion time (pause) are attributed per cause, and the pending
+// stamp makes a stuck barrier visible to the stall watchdog.
+func (e *parEngine) stopTheWorldSynced(m *Manager, haveLease bool, cause stwCause, fn func()) {
+	start := time.Now()
+	e.stwPendingCause.Store(int32(cause))
+	e.stwPendingSince.Store(start.UnixNano())
+	var wait, pause time.Duration
 	e.mem.stopTheWorld(haveLease, func() {
+		wait = time.Since(start)
+		t0 := time.Now()
 		e.statsMu.Lock()
-		defer e.statsMu.Unlock()
+		defer func() {
+			e.statsMu.Unlock()
+			pause = time.Since(t0)
+		}()
 		e.syncEnter(m)
 		fn()
 		e.syncExit(m)
 	})
+	e.stwPendingSince.Store(0)
+	e.recordSTW(cause, wait, pause)
 }
 
 // exclusive runs fn with the manager fully quiescent: no operation in
 // flight, counters folded to their serial form. The serial code paths are
 // valid inside fn. On a serial manager fn just runs.
-func (m *Manager) exclusive(fn func()) {
+func (m *Manager) exclusive(fn func()) { m.exclusiveCause(stwExclusive, fn) }
+
+// exclusiveCause is exclusive with quiescence accounting: the write-lease
+// acquisition wait and the held duration are attributed to cause, and the
+// held stamp makes a wedged exclusive section visible to the stall
+// watchdog.
+func (m *Manager) exclusiveCause(cause stwCause, fn func()) {
 	if m.par == nil {
 		fn()
 		return
 	}
 	e := m.par
+	start := time.Now()
 	e.opLease.Lock()
+	wait := time.Since(start)
+	held := time.Now()
+	e.leaseCause.Store(int32(cause))
+	e.leaseHeldSince.Store(held.UnixNano())
 	// statsMu: serial code inside fn writes m.stats bare, and an idle
 	// thief may still be flushing its worker-local counters after the op
 	// that spawned it ended (the flush is not tied to any lease).
@@ -422,14 +499,21 @@ func (m *Manager) exclusive(fn func()) {
 	defer func() {
 		e.syncExit(m)
 		e.statsMu.Unlock()
+		e.leaseHeldSince.Store(0)
 		e.opLease.Unlock()
+		e.recordSTW(cause, wait, time.Since(held))
 	}()
 	fn()
 }
 
-// readLocked runs fn under the read lease without the memory lease: enough
+// readLocked runs fn under the read lease plus the memory lease: enough
 // for read-only traversals of live nodes (reordering is excluded; GC never
-// frees or rewrites the children of live nodes).
+// frees or rewrites the children of live nodes). The memory lease is not
+// optional: a concurrent operation can stop the world mid-traversal to
+// grow the arena — it holds the read lease itself, so only barrier
+// participants are drained — and the m.nodes header swap would race a
+// bare traversal. fn must not allocate nodes (it would try to stop the
+// world while holding the barrier).
 func (m *Manager) readLocked(fn func()) {
 	if m.par == nil {
 		fn()
@@ -437,6 +521,8 @@ func (m *Manager) readLocked(fn func()) {
 	}
 	m.par.opLease.RLock()
 	defer m.par.opLease.RUnlock()
+	m.par.mem.enter()
+	defer m.par.mem.exit()
 	fn()
 }
 
@@ -663,9 +749,19 @@ func (e *parEngine) thiefLoop(m *Manager) {
 			}
 		}
 		idle.Reset(thiefIdleTimeout)
+		var idleStart time.Time
+		if telemetryArmed() {
+			idleStart = time.Now()
+		}
 		select {
 		case <-e.wake:
+			if !idleStart.IsZero() {
+				w.telem.idleNS.Add(time.Since(idleStart).Nanoseconds())
+			}
 		case <-idle.C:
+			if !idleStart.IsZero() {
+				w.telem.idleNS.Add(time.Since(idleStart).Nanoseconds())
+			}
 			return
 		}
 	}
@@ -682,9 +778,26 @@ func (e *parEngine) runStolen(w *parWorker, t *parTask, haveLease bool) {
 		e.mem.enter()
 		defer e.mem.exit()
 	}
+	if !t.forkAt.IsZero() {
+		w.telem.stealWait.observe(time.Since(t.forkAt).Nanoseconds())
+	}
+	w.telem.tasks.Add(1)
+	var runStart time.Time
+	if telemetryArmed() {
+		runStart = time.Now()
+	}
 	savedCtx := w.ctx
+	savedStart := w.opStart.Load()
+	savedCode := w.opCode.Load()
 	w.ctx = t.ctx
+	w.opStart.Store(time.Now().UnixNano())
+	w.opCode.Store(opcStolen)
 	defer func() {
+		if !runStart.IsZero() {
+			w.telem.busyNS.Add(time.Since(runStart).Nanoseconds())
+		}
+		w.opStart.Store(savedStart)
+		w.opCode.Store(savedCode)
 		w.ctx = savedCtx
 		if r := recover(); r != nil {
 			ab, ok := r.(OpAborted)
@@ -724,11 +837,20 @@ func (m *Manager) runTaskBody(w *parWorker, t *parTask) Ref {
 	}
 }
 
-// fork queues a subproblem and wakes the thief pool.
+// fork queues a subproblem and wakes the thief pool. Sampled forks stamp
+// the task (steal-latency attribution downstream) and record the resulting
+// deque depth.
 func (w *parWorker) fork(kind uint8, f, g, h Ref, depth int32) *parTask {
 	t := &parTask{ctx: w.ctx, kind: kind, f: f, g: g, h: h, depth: depth}
+	sampled := w.sampled()
+	if sampled {
+		t.forkAt = time.Now()
+	}
 	w.ctx.outstanding.Add(1)
-	w.deque.push(t)
+	n := w.deque.push(t)
+	if sampled {
+		w.telem.dequeLen.observe(int64(n))
+	}
 	w.e.signalWork(w.m)
 	return t
 }
@@ -750,9 +872,18 @@ func (m *Manager) join(w *parWorker, t *parTask) Ref {
 		}()
 		return m.runTaskBody(w, t)
 	}
+	var waitStart time.Time
+	if telemetryArmed() {
+		waitStart = time.Now()
+	}
 	spins := 0
 	for {
 		if t.state.Load() == taskDone {
+			if !waitStart.IsZero() {
+				// Includes help-work executed while blocked: joinWait is the
+				// owner's wall time at the join point, not pure idling.
+				w.telem.joinWait.observe(time.Since(waitStart).Nanoseconds())
+			}
 			if t.aborted {
 				panic(OpAborted{Reason: t.ctx.reason})
 			}
@@ -775,12 +906,22 @@ func (m *Manager) join(w *parWorker, t *parTask) Ref {
 }
 
 // beginOp opens a parallel operation: read lease, worker, context, memory
-// lease. Callers pair it with endOp via defer.
-func (m *Manager) beginOp() (*parWorker, *opCtx) {
+// lease. code names the operation for watchdog attribution. Callers pair it
+// with endOp via defer.
+func (m *Manager) beginOp(code int32) (*parWorker, *opCtx) {
 	e := m.par
 	w := e.acquireWorker(m)
 	w.ctx = &opCtx{}
-	e.mem.enter()
+	if telemetryArmed() {
+		t0 := time.Now()
+		e.mem.enter()
+		w.telem.leaseWait.observe(time.Since(t0).Nanoseconds())
+	} else {
+		e.mem.enter()
+	}
+	w.telem.ops.Add(1)
+	w.opCode.Store(code)
+	w.opStart.Store(time.Now().UnixNano())
 	return w, w.ctx
 }
 
@@ -794,6 +935,14 @@ func (m *Manager) endOp(w *parWorker, ctx *opCtx) {
 	if ctx.outstanding.Load() != 0 {
 		m.drainCtx(w, ctx)
 	}
+	if telemetryArmed() {
+		if start := w.opStart.Load(); start != 0 {
+			w.telem.busyNS.Add(time.Now().UnixNano() - start)
+		}
+	}
+	w.opStart.Store(0)
+	w.opCode.Store(opcNone)
+	e.opsDone.Add(1)
 	w.flushStats()
 	e.releaseWorker(w)
 	m.maybeCacheEpochPar()
@@ -838,7 +987,7 @@ func (m *Manager) maybeCacheEpochPar() {
 	if !due {
 		return
 	}
-	e.stopTheWorldSynced(m, false, func() {
+	e.stopTheWorldSynced(m, false, stwCacheResize, func() {
 		// Re-check under the lock: another exit may have closed the epoch.
 		m.foldExtraCacheStats()
 		if m.stats.CacheLookups-m.cache.epochLookups >= int64(cacheEpochFactor)<<m.cache.bits {
@@ -929,7 +1078,7 @@ func (m *Manager) allocNodePar(w *parWorker) int32 {
 		}
 		// Arena exhausted: stop the world, then collect or grow. Another
 		// worker may have resolved the pressure while we waited.
-		e.stopTheWorldSynced(m, true, func() {
+		e.stopTheWorldSynced(m, true, stwAlloc, func() {
 			if atomic.LoadInt64(&m.nodesUsed) < int64(len(m.nodes)) || m.free != nilIndex {
 				return
 			}
@@ -968,7 +1117,17 @@ func (m *Manager) makeNodePar(w *parWorker, level int32, hi, lo Ref) Ref {
 	w.stats.UniqueLookups++
 	e := m.par
 	mu := &e.tableMu[level]
-	mu.Lock()
+	if w.sampled() {
+		t0 := time.Now()
+		mu.Lock()
+		ns := time.Since(t0).Nanoseconds()
+		w.telem.uniqueWait.observe(ns)
+		if heat := *e.levelHeat.Load(); int(level) < len(heat) {
+			heat[level].bump(ns)
+		}
+	} else {
+		mu.Lock()
+	}
 	st := &m.subtables[level]
 	b := hash3(level, hi, lo) & st.mask
 	for idx := st.buckets[b]; idx != nilIndex; idx = m.nodes[idx].next {
@@ -1053,7 +1212,15 @@ func (m *Manager) cacheLookupPar(w *parWorker, op uint32, a, b, c Ref) (Ref, boo
 	set := cacheHash(op, a, b, c) & cc.setMask
 	base := set * cacheWays
 	mu := e.cacheStripe(set)
-	mu.Lock()
+	if w != nil && w.sampled() {
+		t0 := time.Now()
+		mu.Lock()
+		ns := time.Since(t0).Nanoseconds()
+		w.telem.cacheWait.observe(ns)
+		e.stripeHeat[set&(cacheStripes-1)].bump(ns)
+	} else {
+		mu.Lock()
+	}
 	for i := uint32(0); i < cacheWays; i++ {
 		ent := &cc.entries[base+i]
 		if ent.op == op && ent.a == a && ent.b == b && ent.c == c &&

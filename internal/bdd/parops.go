@@ -1,5 +1,7 @@
 package bdd
 
+import "time"
+
 // Parallel counterparts of the recursive operation kernels, plus the public
 // entry points that dispatch to them when the manager runs with Workers > 1.
 //
@@ -23,13 +25,20 @@ package bdd
 
 // parMaybeReorder is maybeReorder for parallel managers: the fast path reads
 // two atomics; arming takes the write lease and re-checks, then runs the
-// serial sifting code on the quiescent manager.
+// serial sifting code on the quiescent manager. The write-lease epoch is
+// attributed to the reorder cause (even when the re-check declines, the
+// exclusion really happened and ops really waited).
 func (m *Manager) parMaybeReorder() {
 	e := m.par
 	if !e.autoReorderA.Load() || e.liveApprox() <= e.reorderThresholdA.Load() {
 		return
 	}
+	start := time.Now()
 	e.opLease.Lock()
+	wait := time.Since(start)
+	held := time.Now()
+	e.leaseCause.Store(int32(stwReorder))
+	e.leaseHeldSince.Store(held.UnixNano())
 	e.statsMu.Lock() // see exclusive: serial code vs. lingering thief flushes
 	e.syncEnter(m)
 	if m.autoReorder && m.liveCount > m.reorderThreshold {
@@ -42,7 +51,9 @@ func (m *Manager) parMaybeReorder() {
 	}
 	e.syncExit(m)
 	e.statsMu.Unlock()
+	e.leaseHeldSince.Store(0)
 	e.opLease.Unlock()
+	e.recordSTW(stwReorder, wait, time.Since(held))
 }
 
 // parAnd is the parallel And entry point.
@@ -51,7 +62,7 @@ func (m *Manager) parAnd(f, g Ref) Ref {
 	e := m.par
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
-	w, ctx := m.beginOp()
+	w, ctx := m.beginOp(opcAnd)
 	defer m.endOp(w, ctx)
 	return m.parAndRec(w, f, g, 1)
 }
@@ -62,7 +73,7 @@ func (m *Manager) parXor(f, g Ref) Ref {
 	e := m.par
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
-	w, ctx := m.beginOp()
+	w, ctx := m.beginOp(opcXor)
 	defer m.endOp(w, ctx)
 	return m.parXorRec(w, f, g, 1)
 }
@@ -73,7 +84,7 @@ func (m *Manager) parITE(f, g, h Ref) Ref {
 	e := m.par
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
-	w, ctx := m.beginOp()
+	w, ctx := m.beginOp(opcITE)
 	defer m.endOp(w, ctx)
 	return m.parIteRec(w, f, g, h, 1)
 }
@@ -84,7 +95,7 @@ func (m *Manager) parExistsCube(f, cube Ref) Ref {
 	e := m.par
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
-	w, ctx := m.beginOp()
+	w, ctx := m.beginOp(opcExists)
 	defer m.endOp(w, ctx)
 	return m.parExistsRec(w, f, cube, 1)
 }
@@ -95,7 +106,7 @@ func (m *Manager) parAndExists(f, g, cube Ref) Ref {
 	e := m.par
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
-	w, ctx := m.beginOp()
+	w, ctx := m.beginOp(opcAndExists)
 	defer m.endOp(w, ctx)
 	return m.parAndExistsRec(w, f, g, cube, 1)
 }
@@ -105,7 +116,7 @@ func (m *Manager) parLeq(f, g Ref) bool {
 	e := m.par
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
-	w, ctx := m.beginOp()
+	w, ctx := m.beginOp(opcLeq)
 	defer m.endOp(w, ctx)
 	return m.parLeqRec(w, f, g)
 }
@@ -115,7 +126,7 @@ func (m *Manager) parCompose(f Ref, v int, g Ref) Ref {
 	e := m.par
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
-	w, ctx := m.beginOp()
+	w, ctx := m.beginOp(opcCompose)
 	defer m.endOp(w, ctx)
 	return m.parComposeRec(w, f, m.varToLev[v], g)
 }
@@ -125,7 +136,7 @@ func (m *Manager) parPermute(f Ref, perm []int) Ref {
 	e := m.par
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
-	w, ctx := m.beginOp()
+	w, ctx := m.beginOp(opcPermute)
 	defer m.endOp(w, ctx)
 	memo := make(map[Ref]Ref)
 	r := m.parPermuteRec(w, f, perm, memo)
@@ -141,7 +152,7 @@ func (m *Manager) parCubeFromVars(vars []int) Ref {
 	e := m.par
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
-	w, ctx := m.beginOp()
+	w, ctx := m.beginOp(opcCube)
 	defer m.endOp(w, ctx)
 	levels := make([]int32, 0, len(vars))
 	for _, v := range vars {

@@ -112,7 +112,7 @@ func (m *Manager) maybeReorder() {
 // in-flight operation to finish and runs with the manager to itself.
 func (m *Manager) Reorder(method ReorderMethod, cfg SiftConfig) int {
 	var n int
-	m.exclusive(func() { n = m.reorderNow(method, cfg) })
+	m.exclusiveCause(stwReorder, func() { n = m.reorderNow(method, cfg) })
 	return n
 }
 
@@ -178,7 +178,7 @@ func (m *Manager) reorderNow(method ReorderMethod, cfg SiftConfig) int {
 // good order.
 func (m *Manager) SetOrder(order []int) error {
 	var err error
-	m.exclusive(func() { err = m.setOrderNow(order) })
+	m.exclusiveCause(stwReorder, func() { err = m.setOrderNow(order) })
 	return err
 }
 
@@ -225,7 +225,7 @@ func (m *Manager) setOrderNow(order []int) error {
 // collection inside allocation; used when the table is consistent again
 // after a pass that suspended collection.
 func (m *Manager) GarbageCollectDeferred() {
-	m.exclusive(func() {
+	m.exclusiveCause(stwGC, func() {
 		saved := m.noGC
 		m.noGC = false
 		m.gc(true)

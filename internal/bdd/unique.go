@@ -210,7 +210,7 @@ func (m *Manager) GarbageCollect() int {
 	e.opLease.RLock()
 	defer e.opLease.RUnlock()
 	var n int
-	e.stopTheWorldSynced(m, false, func() { n = m.gc(true) })
+	e.stopTheWorldSynced(m, false, stwGC, func() { n = m.gc(true) })
 	return n
 }
 

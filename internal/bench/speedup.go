@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Scaling harness: BENCH_reach.json records are tagged with the worker
+// count that produced them, so the history holds one trajectory per engine
+// mode. SpeedupCurves pairs the latest parallel record of each worker count
+// against the latest serial record of the same suite and reports the
+// speedup curve — wall-time ratio, parallel efficiency, and how much of the
+// gap to perfect scaling the engine's own stop-the-world accounting
+// explains (the rest is contention, stealing overhead, or Amdahl's
+// residue that was never instrumented).
+// ---------------------------------------------------------------------------
+
+// SpeedupPoint is one circuit/method measured at W workers against its
+// 1-worker baseline from the same suite.
+type SpeedupPoint struct {
+	Ckt        string        `json:"ckt"`
+	Method     string        `json:"method"` // bfs, rua, sp
+	Workers    int           `json:"workers"`
+	SerialTime time.Duration `json:"serial_ns"`
+	ParTime    time.Duration `json:"par_ns"`
+	Speedup    float64       `json:"speedup"`    // SerialTime / ParTime
+	Efficiency float64       `json:"efficiency"` // Speedup / Workers
+	STWTime    time.Duration `json:"stw_ns"`     // serial sections inside the parallel run
+	// Gap is the run's shortfall against perfect scaling:
+	// ParTime - SerialTime/Workers. STWShare is the fraction of that gap
+	// covered by measured stop-the-world time (capped at 1; zero when the
+	// run beat perfect scaling).
+	Gap      time.Duration `json:"gap_ns"`
+	STWShare float64       `json:"stw_share"`
+}
+
+// latestBySuiteWorkers returns the most recent record for every
+// (suite, workers) pair, preserving nothing older.
+func latestBySuiteWorkers(h *History) map[string]map[int]*HistoryRecord {
+	out := make(map[string]map[int]*HistoryRecord)
+	for i := range h.Records {
+		rec := &h.Records[i]
+		byW, ok := out[rec.Suite]
+		if !ok {
+			byW = make(map[int]*HistoryRecord)
+			out[rec.Suite] = byW
+		}
+		byW[rec.normWorkers()] = rec // newest record last wins
+	}
+	return out
+}
+
+// SpeedupCurves derives the speedup curve from a history: for every suite
+// with both a serial (workers=1) record and at least one multi-worker
+// record, every circuit/method completed by both runs contributes one
+// point per worker count. An empty result means the history holds no
+// comparable serial/parallel pair.
+func SpeedupCurves(h *History) []SpeedupPoint {
+	var points []SpeedupPoint
+	for _, byW := range latestBySuiteWorkers(h) {
+		base, ok := byW[1]
+		if !ok {
+			continue
+		}
+		baseRows := make(map[string]Table1Row, len(base.Rows))
+		for _, r := range base.Rows {
+			baseRows[r.Ckt] = r
+		}
+		for w, rec := range byW {
+			if w == 1 {
+				continue
+			}
+			for _, cur := range rec.Rows {
+				prev, ok := baseRows[cur.Ckt]
+				if !ok {
+					continue
+				}
+				for _, m := range []struct {
+					name string
+					s, p MethodResult
+				}{
+					{"bfs", prev.BFS, cur.BFS},
+					{"rua", prev.RUA, cur.RUA},
+					{"sp", prev.SP, cur.SP},
+				} {
+					if !m.s.Done || !m.p.Done || m.s.Time <= 0 || m.p.Time <= 0 {
+						continue
+					}
+					pt := SpeedupPoint{
+						Ckt: cur.Ckt, Method: m.name, Workers: w,
+						SerialTime: m.s.Time, ParTime: m.p.Time,
+						Speedup: float64(m.s.Time) / float64(m.p.Time),
+						STWTime: m.p.STWTime,
+					}
+					pt.Efficiency = pt.Speedup / float64(w)
+					if gap := m.p.Time - m.s.Time/time.Duration(w); gap > 0 {
+						pt.Gap = gap
+						share := float64(m.p.STWTime) / float64(gap)
+						if share > 1 {
+							share = 1
+						}
+						pt.STWShare = share
+					}
+					points = append(points, pt)
+				}
+			}
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Workers != points[j].Workers {
+			return points[i].Workers < points[j].Workers
+		}
+		if points[i].Ckt != points[j].Ckt {
+			return points[i].Ckt < points[j].Ckt
+		}
+		return points[i].Method < points[j].Method
+	})
+	return points
+}
+
+// WriteSpeedup renders the speedup-curve report and returns the number of
+// points. Zero points is the caller's cue to fail loudly — it means the
+// history has no serial/parallel pair to compare (satellite CI runs
+// `tables -speedup` against the committed baselines).
+func WriteSpeedup(w io.Writer, points []SpeedupPoint) int {
+	if len(points) == 0 {
+		fmt.Fprintln(w, "speedup: no comparable serial/parallel record pair in history")
+		fmt.Fprintln(w, "record baselines with: tables -table 1 -bench-save FILE (at workers 1 and N)")
+		return 0
+	}
+	fmt.Fprintf(w, "%-10s %-4s %8s %12s %12s %9s %6s %12s %9s\n",
+		"ckt", "meth", "workers", "serial", "parallel", "speedup", "eff", "stw", "gap-stw")
+	curW := -1
+	var sumSpeed, sumEff float64
+	var n int
+	flush := func() {
+		if n > 0 {
+			fmt.Fprintf(w, "  -- %d workers: mean speedup %.2fx, efficiency %.0f%%\n",
+				curW, sumSpeed/float64(n), 100*sumEff/float64(n))
+		}
+		sumSpeed, sumEff, n = 0, 0, 0
+	}
+	for _, p := range points {
+		if p.Workers != curW {
+			flush()
+			curW = p.Workers
+		}
+		fmt.Fprintf(w, "%-10s %-4s %8d %12v %12v %8.2fx %5.0f%% %12v %8.0f%%\n",
+			p.Ckt, p.Method, p.Workers,
+			p.SerialTime.Round(time.Millisecond), p.ParTime.Round(time.Millisecond),
+			p.Speedup, 100*p.Efficiency,
+			p.STWTime.Round(time.Millisecond), 100*p.STWShare)
+		sumSpeed += p.Speedup
+		sumEff += p.Efficiency
+		n++
+	}
+	flush()
+	return len(points)
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func speedupHistory() *History {
+	mk := func(t time.Duration, stw time.Duration) MethodResult {
+		return MethodResult{Time: t, Done: true, STWTime: stw}
+	}
+	return &History{Records: []HistoryRecord{
+		{Schema: 1, Suite: "table1-small", Workers: 0, Rows: []Table1Row{ // pre-parallel record: workers omitted = serial
+			{Ckt: "s3330", BFS: mk(400*time.Millisecond, 0), RUA: mk(300*time.Millisecond, 0), SP: mk(200*time.Millisecond, 0)},
+		}},
+		{Schema: 1, Suite: "table1-small", Workers: 1, Rows: []Table1Row{ // newer serial baseline wins
+			{Ckt: "s3330", BFS: mk(800*time.Millisecond, 0), RUA: mk(600*time.Millisecond, 0), SP: mk(400*time.Millisecond, 0)},
+		}},
+		{Schema: 1, Suite: "table1-small", Workers: 4, Rows: []Table1Row{
+			{Ckt: "s3330",
+				BFS: mk(400*time.Millisecond, 100*time.Millisecond),           // 2x speedup, gap 200ms, stw explains half
+				RUA: mk(150*time.Millisecond, 0),                              // perfect 4x: no gap
+				SP:  MethodResult{Time: 100 * time.Millisecond, Done: false}}, // incomplete: excluded
+		}},
+		{Schema: 1, Suite: "other-suite", Workers: 4, Rows: []Table1Row{ // no serial baseline: excluded
+			{Ckt: "x", BFS: mk(time.Second, 0)},
+		}},
+	}}
+}
+
+func TestSpeedupCurves(t *testing.T) {
+	points := SpeedupCurves(speedupHistory())
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2 (bfs + rua): %+v", len(points), points)
+	}
+	bfs, rua := points[0], points[1]
+	if bfs.Method != "bfs" || rua.Method != "rua" {
+		t.Fatalf("points out of order: %+v", points)
+	}
+
+	if math.Abs(bfs.Speedup-2.0) > 1e-9 || math.Abs(bfs.Efficiency-0.5) > 1e-9 {
+		t.Errorf("bfs speedup %.2f eff %.2f, want 2.00 / 0.50", bfs.Speedup, bfs.Efficiency)
+	}
+	// Perfect scaling would be 800ms/4 = 200ms; the run took 400ms, so the
+	// gap is 200ms and the 100ms of STW explains half of it.
+	if bfs.Gap != 200*time.Millisecond {
+		t.Errorf("bfs gap = %v, want 200ms", bfs.Gap)
+	}
+	if math.Abs(bfs.STWShare-0.5) > 1e-9 {
+		t.Errorf("bfs STWShare = %.2f, want 0.50", bfs.STWShare)
+	}
+
+	if math.Abs(rua.Speedup-4.0) > 1e-9 || rua.Gap != 0 || rua.STWShare != 0 {
+		t.Errorf("rua = %+v, want perfect 4x with zero gap", rua)
+	}
+
+	var buf bytes.Buffer
+	if n := WriteSpeedup(&buf, points); n != 2 {
+		t.Fatalf("WriteSpeedup = %d, want 2", n)
+	}
+	out := buf.String()
+	for _, want := range []string{"s3330", "2.00x", "4 workers: mean speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpeedupCurvesEmpty(t *testing.T) {
+	h := &History{Records: []HistoryRecord{
+		{Schema: 1, Suite: "table1-small", Workers: 1, Rows: []Table1Row{{Ckt: "s3330"}}},
+	}}
+	if points := SpeedupCurves(h); len(points) != 0 {
+		t.Fatalf("serial-only history produced points: %+v", points)
+	}
+	var buf bytes.Buffer
+	if n := WriteSpeedup(&buf, nil); n != 0 {
+		t.Fatalf("WriteSpeedup(nil) = %d, want 0", n)
+	}
+	if !strings.Contains(buf.String(), "no comparable serial/parallel record pair") {
+		t.Errorf("empty report should explain itself:\n%s", buf.String())
+	}
+}

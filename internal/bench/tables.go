@@ -204,6 +204,12 @@ type MethodResult struct {
 	ImageTime   time.Duration `json:"image_time_ns"`
 	SubsetTime  time.Duration `json:"subset_time_ns,omitempty"`
 	ClosureTime time.Duration `json:"closure_time_ns,omitempty"`
+
+	// Stop-the-world accounting (parallel engine only; absent on serial
+	// runs): how much of Time was spent in the engine's serial sections.
+	// Additive to the record layout, so HistorySchema stays at 1.
+	STWCount int64         `json:"stw_count,omitempty"`
+	STWTime  time.Duration `json:"stw_ns,omitempty"`
 }
 
 // Table1Row mirrors one row of the paper's Table 1, extended with the
@@ -364,6 +370,8 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 				ImageTime:   r.Stats.ImageTime,
 				SubsetTime:  r.Stats.SubsetTime,
 				ClosureTime: r.Stats.ClosureTime,
+				STWCount:    r.Stats.STWCount,
+				STWTime:     r.Stats.STWTime,
 			}
 			if r.Stats.CacheLookups > 0 {
 				mr.CacheHit = float64(r.Stats.CacheHits) / float64(r.Stats.CacheLookups)

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"bddkit/internal/bdd"
@@ -11,24 +12,63 @@ import (
 
 // Config carries the observability flags shared by every cmd binary:
 //
-//	-trace FILE    structured JSONL span trace ("-" = stderr)
-//	-metrics       print a metrics-registry snapshot to stderr on exit
-//	-obs ADDR      live endpoint serving pprof, expvar, /metrics, /flight
+//	-trace FILE        structured JSONL span trace ("-" = stderr)
+//	-metrics           print a metrics-registry snapshot to stderr on exit
+//	-obs ADDR          live endpoint serving pprof, expvar, /metrics,
+//	                   /flight, /parallel
+//	-par-sample N      1-in-N fine-grained parallel-engine sampling
+//	-stall-deadline D  stall-watchdog deadline (also BDDKIT_STALL_DEADLINE)
+//	-obs-linger D      keep the session open this long at Close
 //
-// Any one of them arms the flight recorder, so a panic or node-budget
-// exhaustion dumps the recent trace events to stderr.
+// Any one of the first three arms the flight recorder, so a panic or
+// node-budget exhaustion dumps the recent trace events to stderr. The
+// parallel knobs only take effect when the session is otherwise enabled
+// and a multi-worker manager is observed.
 type Config struct {
 	Trace      string
 	Metrics    bool
 	Addr       string
 	FlightSize int // ring capacity in events (0 = DefaultFlightSize)
+
+	// ParSample arms bdd.SetParSampling(ParSample) for the session (0
+	// leaves fine-grained sampling off; the previous rate is restored at
+	// Close). The default is bdd.DefaultParSampleRate.
+	ParSample int
+	// StallDeadline arms the parallel stall watchdog on observed managers
+	// (0 = off). The -stall-deadline flag defaults to the
+	// BDDKIT_STALL_DEADLINE environment variable.
+	StallDeadline time.Duration
+	// Linger makes Close sleep before tearing the session down, keeping
+	// the -obs endpoint scrapeable after the workload finishes (smoke
+	// tests curl /parallel and /metrics in that window).
+	Linger time.Duration
 }
 
-// AddFlags registers the three observability flags on fs.
+// AddFlags registers the observability flags on fs.
 func (c *Config) AddFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.Trace, "trace", "", "write a JSONL span trace to this `file` (\"-\" = stderr)")
 	fs.BoolVar(&c.Metrics, "metrics", false, "print a metrics-registry snapshot to stderr on exit")
 	fs.StringVar(&c.Addr, "obs", "", "serve pprof/expvar/metrics on this `address` (e.g. :6060)")
+	fs.IntVar(&c.ParSample, "par-sample", bdd.DefaultParSampleRate,
+		"sample 1-in-`N` parallel lock waits and steals when obs is enabled (0 = off)")
+	fs.DurationVar(&c.StallDeadline, "stall-deadline", envStallDeadline(),
+		"arm the parallel stall watchdog with this `deadline` (0 = off; default $BDDKIT_STALL_DEADLINE)")
+	fs.DurationVar(&c.Linger, "obs-linger", 0,
+		"keep the obs endpoint up this `duration` after the workload finishes")
+}
+
+// envStallDeadline reads the BDDKIT_STALL_DEADLINE environment variable
+// (a Go duration, e.g. "30s"); unset or unparsable means off.
+func envStallDeadline() time.Duration {
+	v := os.Getenv("BDDKIT_STALL_DEADLINE")
+	if v == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Enabled reports whether any observability feature was requested.
@@ -53,6 +93,15 @@ type Session struct {
 	traceFile *os.File
 	stopHTTP  func()
 
+	// mu guards the fields the /parallel handler and Close read while the
+	// workload is still installing them (mgr, sampler, watchdog).
+	mu           sync.Mutex
+	mgr          *bdd.Manager
+	sampler      *ParSampler
+	stopWatchdog func()
+	prevSample   int
+	sampleArmed  bool
+
 	gcPause    *Histogram
 	gcCount    *Counter
 	gcNodes    *Counter
@@ -60,6 +109,9 @@ type Session struct {
 	reorders   *Counter
 	aborts     *Counter
 	debugFails *Counter
+	stwPause   *Histogram
+	stwCount   *Counter
+	stalls     *Counter
 }
 
 // Start arms the observability layer described by c. With no flags set it
@@ -97,6 +149,14 @@ func (c Config) Start() (*Session, error) {
 	s.reorders = s.Registry.Counter("bdd_reorder_total")
 	s.aborts = s.Registry.Counter("bdd_budget_aborts_total")
 	s.debugFails = s.Registry.Counter("bdd_debug_failures_total")
+	s.stwPause = s.Registry.Histogram("bdd_stw_pause_ns")
+	s.stwCount = s.Registry.Counter("bdd_stw_total")
+	s.stalls = s.Registry.Counter("bdd_stall_reports_total")
+	s.prevSample = bdd.ParSampling()
+	if c.ParSample > 0 {
+		bdd.SetParSampling(c.ParSample)
+		s.sampleArmed = true
+	}
 	bdd.SetObserver(s)
 
 	if c.Addr != "" {
@@ -147,16 +207,55 @@ func (s *Session) ObserveManager(m *bdd.Manager) {
 	r.GaugeFunc("bdd_workers", func() float64 { return float64(m.Workers()) })
 	r.GaugeFunc("bdd_tasks_stolen", func() float64 { return float64(m.Stats().TasksStolen) })
 	r.GaugeFunc("bdd_tasks_local", func() float64 { return float64(m.Stats().TasksLocal) })
+	r.GaugeFunc("bdd_stw_epochs", func() float64 { return float64(m.Stats().STWCount) })
+	r.GaugeFunc("bdd_stw_time_ns", func() float64 { return float64(m.Stats().STWTime) })
 	if s.Tracer != nil {
 		s.Tracer.LiveNodes = m.NodeCount
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mgr = m
+	if m.Workers() > 1 {
+		if s.cfg.StallDeadline > 0 && s.stopWatchdog == nil {
+			s.stopWatchdog = m.StartStallWatchdog(s.cfg.StallDeadline)
+		}
+		if s.cfg.Addr != "" && s.sampler == nil {
+			s.sampler = newParSampler(m, 0)
+		}
 	}
 }
 
 // Close flushes the trace sink, stops the HTTP endpoint, uninstalls the
 // bdd observer, and prints the metrics snapshot when -metrics was given.
+// With -obs-linger it first sleeps, leaving the endpoint scrapeable; it
+// then stops the watchdog and sampler, emits the end-of-run per-subsystem
+// bdd.contention snapshot into the trace, and tears down.
 func (s *Session) Close() {
 	if s == nil {
 		return
+	}
+	if s.cfg.Linger > 0 {
+		time.Sleep(s.cfg.Linger)
+	}
+	s.mu.Lock()
+	if s.stopWatchdog != nil {
+		s.stopWatchdog()
+		s.stopWatchdog = nil
+	}
+	if s.sampler != nil {
+		s.sampler.Stop()
+		s.sampler = nil
+	}
+	mgr := s.mgr
+	s.mgr = nil
+	s.mu.Unlock()
+	if mgr != nil && mgr.Workers() > 1 {
+		s.emitContention(mgr.ParTelemetry())
+	}
+	if s.sampleArmed {
+		bdd.SetParSampling(s.prevSample)
+		s.sampleArmed = false
 	}
 	if bdd.CurrentObserver() == bdd.Observer(s) {
 		bdd.SetObserver(nil)
@@ -235,4 +334,48 @@ func (s *Session) DebugFailure(err error) {
 	}
 }
 
+// bdd.ParObserver implementation -----------------------------------------
+
+// STW records one write-lease / stop-the-world epoch: pause histogram,
+// total and per-cause counters, and a bdd.stw trace event carrying the
+// Amdahl attribution (cause, wait, pause, worker count).
+func (s *Session) STW(cause string, workers int, wait, pause time.Duration) {
+	s.stwPause.Observe(pause.Nanoseconds())
+	s.stwCount.Inc()
+	s.Registry.Counter("bdd_stw_" + cause + "_total").Inc()
+	s.Tracer.Event("bdd.stw",
+		Str("cause", cause), Int("workers", workers),
+		Dur("wait_ns", wait), Dur("pause_ns", pause))
+}
+
+// Stall records a stall-watchdog firing: the report goes into the trace
+// (and thereby the flight recorder), and the flight recorder dumps to
+// stderr immediately — a stuck engine may never reach a clean exit.
+func (s *Session) Stall(report string, stuck time.Duration) {
+	s.stalls.Inc()
+	s.Tracer.Event("bdd.stall", Str("report", report), Dur("stuck_ns", stuck))
+	if s.Flight != nil {
+		s.Flight.Dump(os.Stderr, "parallel engine stalled for "+stuck.String()+":\n"+report)
+	}
+}
+
+// emitContention writes one bdd.contention trace event per instrumented
+// subsystem from a final telemetry snapshot, so post-hoc analysis gets the
+// merged wait distributions without scraping /parallel.
+func (s *Session) emitContention(t bdd.ParTelemetry) {
+	emit := func(subsystem string, ws bdd.WaitStats) {
+		s.Tracer.Event("bdd.contention",
+			Str("subsystem", subsystem),
+			I64("count", ws.Count), I64("sum_ns", ws.SumNS), I64("max_ns", ws.MaxNS),
+			I64("p50_ns", ws.P50NS), I64("p95_ns", ws.P95NS), I64("p99_ns", ws.P99NS))
+	}
+	emit("unique", t.UniqueWait)
+	emit("cache", t.CacheWait)
+	emit("lease", t.LeaseWait)
+	emit("steal", t.StealLatency)
+	emit("join", t.JoinWait)
+	emit("deque", t.DequeDepth)
+}
+
 var _ bdd.Observer = (*Session)(nil)
+var _ bdd.ParObserver = (*Session)(nil)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -62,6 +63,30 @@ func (s *Session) serve(addr string) (func(), error) {
 			s.Flight.WriteTo(w) //nolint:errcheck // client went away
 		}
 	})
+	mux.HandleFunc("/parallel", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.mu.Lock()
+		mgr, sampler := s.mgr, s.sampler
+		s.mu.Unlock()
+		resp := struct {
+			Workers int           `json:"workers"`
+			Current *ParSnapshot  `json:"current,omitempty"`
+			History []ParSnapshot `json:"history,omitempty"`
+		}{}
+		if mgr != nil {
+			resp.Workers = mgr.Workers()
+			cur := ParSnapshot{
+				TS:        time.Now().Format(time.RFC3339Nano),
+				LiveNodes: mgr.NodeCount(),
+				Telemetry: mgr.ParTelemetry(),
+			}
+			resp.Current = &cur
+		}
+		if sampler != nil {
+			resp.History = sampler.History()
+		}
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck // client went away
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -71,7 +96,8 @@ func (s *Session) serve(addr string) (func(), error) {
 			"  /metrics      plaintext metrics snapshot\n"+
 			"  /debug/vars   expvar JSON (registry under \"bddkit\")\n"+
 			"  /debug/pprof  live profiling\n"+
-			"  /flight       flight-recorder contents (JSONL)\n")
+			"  /flight       flight-recorder contents (JSONL)\n"+
+			"  /parallel     live parallel-engine telemetry (workers, contention, STW)\n")
 	})
 
 	ln, err := net.Listen("tcp", addr)

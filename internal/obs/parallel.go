@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"bddkit/internal/bdd"
+)
+
+// Live scaling dashboard support: a background sampler snapshots the
+// parallel engine's telemetry (worker accounting, contention top-K, STW
+// breakdown) into a small ring, and the -obs HTTP endpoint serves the ring
+// as JSON from /parallel. Snapshots read the engine's atomics without
+// stopping it, so they are advisory — exactly what a heatmap wants.
+
+const (
+	// defaultParSampleInterval is how often the sampler snapshots.
+	defaultParSampleInterval = 500 * time.Millisecond
+	// parRingSize bounds the history served by /parallel (~1 minute at the
+	// default interval).
+	parRingSize = 128
+)
+
+// ParSnapshot is one timestamped telemetry sample.
+type ParSnapshot struct {
+	TS        string           `json:"ts"` // RFC3339Nano
+	LiveNodes int              `json:"live_nodes"`
+	Telemetry bdd.ParTelemetry `json:"telemetry"`
+}
+
+// ParSampler periodically snapshots a manager's parallel telemetry into a
+// ring buffer.
+type ParSampler struct {
+	m      *bdd.Manager
+	ticker *time.Ticker
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	ring []ParSnapshot // oldest first, capped at parRingSize
+}
+
+// newParSampler starts sampling m every interval (0 selects the default).
+func newParSampler(m *bdd.Manager, interval time.Duration) *ParSampler {
+	if interval <= 0 {
+		interval = defaultParSampleInterval
+	}
+	ps := &ParSampler{
+		m:      m,
+		ticker: time.NewTicker(interval),
+		done:   make(chan struct{}),
+	}
+	ps.wg.Add(1)
+	go ps.loop()
+	return ps
+}
+
+func (ps *ParSampler) loop() {
+	defer ps.wg.Done()
+	for {
+		select {
+		case <-ps.done:
+			return
+		case <-ps.ticker.C:
+			ps.sample()
+		}
+	}
+}
+
+func (ps *ParSampler) sample() {
+	snap := ParSnapshot{
+		TS:        time.Now().Format(time.RFC3339Nano),
+		LiveNodes: ps.m.NodeCount(),
+		Telemetry: ps.m.ParTelemetry(),
+	}
+	ps.mu.Lock()
+	ps.ring = append(ps.ring, snap)
+	if len(ps.ring) > parRingSize {
+		copy(ps.ring, ps.ring[len(ps.ring)-parRingSize:])
+		ps.ring = ps.ring[:parRingSize]
+	}
+	ps.mu.Unlock()
+}
+
+// History returns the ring contents, oldest first.
+func (ps *ParSampler) History() []ParSnapshot {
+	ps.mu.Lock()
+	out := make([]ParSnapshot, len(ps.ring))
+	copy(out, ps.ring)
+	ps.mu.Unlock()
+	return out
+}
+
+// Stop halts the sampling goroutine. Safe to call twice.
+func (ps *ParSampler) Stop() {
+	select {
+	case <-ps.done:
+		return
+	default:
+	}
+	ps.ticker.Stop()
+	close(ps.done)
+	ps.wg.Wait()
+}

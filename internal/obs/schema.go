@@ -11,12 +11,27 @@ import (
 // JSONL schema validation for trace files, shared by the obs tests and the
 // obscheck tool behind `make obs-smoke`.
 
+// TraceSchemaVersion is the version stamped into every emitted event's "v"
+// field. History:
+//
+//	v1 (unversioned; "v" absent) — the original span/event record.
+//	v2 — adds the "v" field itself and the parallel-engine event
+//	     vocabulary: "bdd.stw" (write-lease / stop-the-world epochs with
+//	     cause, wait_ns, pause_ns, workers attrs), "bdd.stall" (watchdog
+//	     reports with report, stuck_ns attrs), and "bdd.contention"
+//	     (end-of-run per-subsystem wait summaries).
+//
+// Readers accept any version up to their own: v1 files (v absent / 0)
+// remain valid, files from a future writer are rejected.
+const TraceSchemaVersion = 2
+
 // TraceSummary reports what a validated trace contains.
 type TraceSummary struct {
-	Lines  int            // total event lines
-	Spans  int            // kind == "span"
-	Events int            // kind == "event"
-	ByName map[string]int // per-name emission counts
+	Lines   int            // total event lines
+	Spans   int            // kind == "span"
+	Events  int            // kind == "event"
+	ByName  map[string]int // per-name emission counts
+	Version int            // highest schema version seen (0 = legacy v1)
 }
 
 // ValidateJSONL reads a JSONL trace and verifies the schema of every line:
@@ -65,6 +80,16 @@ func ValidateJSONL(r io.Reader) (TraceSummary, error) {
 		if ev.Parent == ev.ID {
 			return sum, fmt.Errorf("line %d: event %d is its own parent", sum.Lines, ev.ID)
 		}
+		if ev.V > TraceSchemaVersion {
+			return sum, fmt.Errorf("line %d: schema version %d is newer than this reader (max %d)",
+				sum.Lines, ev.V, TraceSchemaVersion)
+		}
+		if ev.V > sum.Version {
+			sum.Version = ev.V
+		}
+		if err := validateKnownEvent(&ev); err != nil {
+			return sum, fmt.Errorf("line %d: %v", sum.Lines, err)
+		}
 		seen[ev.ID] = true
 		sum.ByName[ev.Name]++
 	}
@@ -72,4 +97,52 @@ func ValidateJSONL(r io.Reader) (TraceSummary, error) {
 		return sum, err
 	}
 	return sum, nil
+}
+
+// validateKnownEvent applies per-name attribute checks to the v2 parallel-
+// engine vocabulary. Unknown names pass — traces may carry domain-specific
+// events the validator has never heard of.
+func validateKnownEvent(ev *Event) error {
+	num := func(key string) (float64, bool) {
+		switch v := ev.Attrs[key].(type) {
+		case float64:
+			return v, true
+		case int64:
+			return float64(v), true
+		case int:
+			return float64(v), true
+		}
+		return 0, false
+	}
+	str := func(key string) string {
+		s, _ := ev.Attrs[key].(string)
+		return s
+	}
+	switch ev.Name {
+	case "bdd.stw":
+		if str("cause") == "" {
+			return fmt.Errorf("bdd.stw event %d has no cause attr", ev.ID)
+		}
+		if v, ok := num("pause_ns"); !ok || v < 0 {
+			return fmt.Errorf("bdd.stw event %d has bad pause_ns %v", ev.ID, ev.Attrs["pause_ns"])
+		}
+		if v, ok := num("wait_ns"); ok && v < 0 {
+			return fmt.Errorf("bdd.stw event %d has negative wait_ns", ev.ID)
+		}
+	case "bdd.stall":
+		if str("report") == "" {
+			return fmt.Errorf("bdd.stall event %d has no report attr", ev.ID)
+		}
+		if v, ok := num("stuck_ns"); !ok || v < 0 {
+			return fmt.Errorf("bdd.stall event %d has bad stuck_ns %v", ev.ID, ev.Attrs["stuck_ns"])
+		}
+	case "bdd.contention":
+		if str("subsystem") == "" {
+			return fmt.Errorf("bdd.contention event %d has no subsystem attr", ev.ID)
+		}
+		if v, ok := num("count"); !ok || v < 0 {
+			return fmt.Errorf("bdd.contention event %d has bad count %v", ev.ID, ev.Attrs["count"])
+		}
+	}
+	return nil
 }

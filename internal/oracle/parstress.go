@@ -39,6 +39,16 @@ type ParStressConfig struct {
 	Samples int
 	// ReorderThreshold arms automatic sifting (default 4096).
 	ReorderThreshold int
+	// SampleRate, when positive, arms bdd.SetParSampling(SampleRate) for
+	// the run (restored afterwards) and starts a snapshot hammer that
+	// polls ParTelemetry and Stats concurrently with the clients — the
+	// race check for the sampled instrumentation paths. The guard that
+	// makes this safe: sampled counters are written per-worker and only
+	// merged (racily, through atomics) at snapshot time.
+	SampleRate int
+	// StallDeadline, when positive, runs the stall watchdog for the whole
+	// stress run; a healthy run must never trip it.
+	StallDeadline time.Duration
 }
 
 func (cfg *ParStressConfig) normalize() {
@@ -72,6 +82,11 @@ type ParStressResult struct {
 	Reorderings int64 // reordering passes observed by the manager
 	TasksStolen int64 // parallel subproblems executed by thief workers
 	TasksLocal  int64 // forked subproblems reclaimed at join
+	Snapshots   int64 // telemetry snapshots taken by the hammer (SampleRate > 0)
+
+	// Telemetry is the final snapshot of the run (populated when
+	// SampleRate > 0).
+	Telemetry bdd.ParTelemetry
 }
 
 // RunParallelStress executes the concurrent hammer and returns the first
@@ -82,6 +97,18 @@ func RunParallelStress(cfg ParStressConfig) (ParStressResult, error) {
 	bcfg.Workers = cfg.Workers
 	m := bdd.NewWithConfig(cfg.Vars, bcfg)
 	m.EnableAutoReorder(cfg.ReorderThreshold)
+
+	var snapshots int64
+	telemetryDone := make(chan struct{})
+	if cfg.SampleRate > 0 {
+		prevRate := bdd.ParSampling()
+		bdd.SetParSampling(cfg.SampleRate)
+		defer bdd.SetParSampling(prevRate)
+	}
+	if cfg.StallDeadline > 0 {
+		stop := m.StartStallWatchdog(cfg.StallDeadline)
+		defer stop()
+	}
 
 	var (
 		wg      sync.WaitGroup
@@ -122,6 +149,30 @@ func RunParallelStress(cfg ParStressConfig) (ParStressResult, error) {
 	lifecycleDone := make(chan struct{})
 	clientsDone := make(chan struct{})
 	go func() { wg.Wait(); close(clientsDone) }()
+
+	// Snapshot hammer: polls the merged telemetry and Stats while clients,
+	// GC, and reordering are all in flight. Its purpose is the race check —
+	// snapshot reads must coexist with per-worker counter writes and with
+	// stop-the-world epochs swapping the level-heat table.
+	if cfg.SampleRate > 0 {
+		go func() {
+			defer close(telemetryDone)
+			for {
+				select {
+				case <-clientsDone:
+					return
+				case <-time.After(time.Millisecond):
+				}
+				t := m.ParTelemetry()
+				st := m.Stats()
+				_ = t.UniqueWait.MeanNS()
+				_ = st.STWTime
+				snapshots++
+			}
+		}()
+	} else {
+		close(telemetryDone)
+	}
 	go func() {
 		defer close(lifecycleDone)
 		for i := 0; ; i++ {
@@ -139,11 +190,15 @@ func RunParallelStress(cfg ParStressConfig) (ParStressResult, error) {
 	}()
 	<-clientsDone
 	<-lifecycleDone
+	<-telemetryDone
 	// One reordering on the quiet manager so the result counters are
 	// populated even when the clients outpace the throttled hammer.
 	m.Reorder(bdd.ReorderSift, bdd.SiftConfig{})
 
-	res := ParStressResult{Rounds: rounds}
+	res := ParStressResult{Rounds: rounds, Snapshots: snapshots}
+	if cfg.SampleRate > 0 {
+		res.Telemetry = m.ParTelemetry()
+	}
 	if firstEr != nil {
 		return res, firstEr
 	}

@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"testing"
+	"time"
 
 	"bddkit/internal/bdd"
 )
@@ -73,5 +74,38 @@ func TestWorkersDeterminism(t *testing.T) {
 	}
 	if err := m4.DebugCheck(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParallelStressWithTelemetry re-runs the concurrent hammer with the
+// sampled instrumentation armed and a snapshot goroutine polling the
+// merged telemetry throughout — under -race (make race / make vet) this is
+// the memory-model check for the observability paths: per-worker counter
+// writes, the level-heat table swap at AddVar/STW, and racy snapshot
+// merges must all coexist with GC and reordering. The watchdog runs with a
+// generous deadline; a healthy run must never trip it.
+func TestParallelStressWithTelemetry(t *testing.T) {
+	cfg := ParStressConfig{Seed: 7, SampleRate: 4, StallDeadline: 10 * time.Second}
+	if testing.Short() {
+		cfg.Rounds = 8
+	}
+	res, err := RunParallelStress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshots == 0 {
+		t.Fatal("snapshot hammer never ran")
+	}
+	if res.Telemetry.Workers != 4 {
+		t.Fatalf("telemetry workers = %d, want 4", res.Telemetry.Workers)
+	}
+	if res.Telemetry.UniqueWait.Count == 0 {
+		t.Error("no sampled unique-table waits at rate 4 under full load")
+	}
+	if len(res.Telemetry.STW) == 0 {
+		t.Error("no STW causes recorded despite GC and reordering firing")
+	}
+	if res.Telemetry.SampleRate != 4 {
+		t.Errorf("telemetry sample rate = %d, want 4", res.Telemetry.SampleRate)
 	}
 }

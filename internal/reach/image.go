@@ -59,6 +59,12 @@ type ImageStats struct {
 	CacheLookups int64 // computed-table probes
 	CacheHits    int64 // computed-table hits
 
+	// Stop-the-world accounting over the run (parallel engine only; zero
+	// on the serial engine): the serial sections that bound the run's
+	// attainable speedup under Amdahl's law.
+	STWCount int64         // write-lease / stop-the-world epochs
+	STWTime  time.Duration // wait + pause summed over those epochs
+
 	// Per-phase wall-time breakdown of the traversal, accumulated by the
 	// traversal loops and Image: where a Table 1 timing column actually
 	// went.

@@ -321,4 +321,6 @@ func captureCacheStats(m *bdd.Manager, st *ImageStats) {
 	s := m.Stats()
 	st.CacheLookups = s.CacheLookups
 	st.CacheHits = s.CacheHits
+	st.STWCount = s.STWCount
+	st.STWTime = s.STWTime
 }

@@ -3,15 +3,17 @@ BENCH_HISTORY ?= BENCH_reach.json
 FUZZTIME ?= 10s
 WORKERS ?= 1
 OBS_PAR_ADDR ?= 127.0.0.1:6171
+OBS_QUALITY_ADDR ?= 127.0.0.1:6172
 
-.PHONY: check test vet build race fuzz-smoke bench bench-save bench-cmp obs-smoke obs-par-smoke profile-smoke
+.PHONY: check test vet build race fuzz-smoke bench bench-save bench-cmp obs-smoke obs-par-smoke obs-quality-smoke profile-smoke
 
 ## check: vet, build, test everything, race-test the BDD core and the
 ## oracle stress driver, smoke the fuzz targets, then smoke the
 ## observability layer end to end (trace schema + required spans,
-## structural profiler, parallel telemetry + Amdahl breakdown, benchmark
-## trajectory and scaling curve in advisory mode).
-check: vet build test race fuzz-smoke obs-smoke obs-par-smoke profile-smoke
+## structural profiler, parallel telemetry + Amdahl breakdown, quality
+## ledger + Prometheus exposition, benchmark trajectory and scaling curve
+## in advisory mode).
+check: vet build test race fuzz-smoke obs-smoke obs-par-smoke obs-quality-smoke profile-smoke
 	$(GO) run ./cmd/tables -bench-cmp $(BENCH_HISTORY) -bench-advisory
 	$(GO) run ./cmd/tables -speedup $(BENCH_HISTORY) -bench-advisory
 
@@ -105,6 +107,34 @@ obs-par-smoke:
 	$(GO) run ./cmd/obscheck -quiet -require bdd.contention /tmp/bddkit-obs-par-smoke.jsonl
 	$(GO) run ./cmd/traceview amdahl /tmp/bddkit-obs-par-smoke.jsonl
 	@echo "obs-par-smoke OK"
+
+## obs-quality-smoke: end-to-end check of the quality-of-result telemetry —
+## run the approximation corpus (Table 2, which includes the hwb functions)
+## with the ledger armed and the live endpoint up, scrape /metrics twice
+## and lint the Prometheus exposition (including counter monotonicity
+## across the pair) with `obscheck -prom`, check /quality reports ledger
+## operations, and validate the schema-v3 quality.op events in the trace.
+obs-quality-smoke:
+	$(GO) build -o /tmp/bddkit-tables-q ./cmd/tables
+	$(GO) build -o /tmp/bddkit-obscheck-q ./cmd/obscheck
+	/tmp/bddkit-tables-q -table 2 -obs $(OBS_QUALITY_ADDR) -obs-linger 6s \
+		-trace /tmp/bddkit-obs-quality-smoke.jsonl >/dev/null & \
+	pid=$$!; \
+	ok=1; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://$(OBS_QUALITY_ADDR)/metrics >/tmp/bddkit-quality-metrics-1.txt 2>/dev/null \
+			&& grep -q 'quality_ops_total' /tmp/bddkit-quality-metrics-1.txt; then ok=0; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$ok -ne 0 ]; then echo "obs-quality-smoke: /metrics never served quality_ops_total"; kill $$pid 2>/dev/null; exit 1; fi; \
+	sleep 1; \
+	curl -sf http://$(OBS_QUALITY_ADDR)/metrics >/tmp/bddkit-quality-metrics-2.txt || { echo "obs-quality-smoke: second /metrics scrape failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://$(OBS_QUALITY_ADDR)/quality >/tmp/bddkit-quality-snapshot.json || { echo "obs-quality-smoke: /quality scrape failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q '"per_op"' /tmp/bddkit-quality-snapshot.json || { echo "obs-quality-smoke: /quality missing per_op aggregates"; kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid
+	/tmp/bddkit-obscheck-q -prom -quiet /tmp/bddkit-quality-metrics-1.txt /tmp/bddkit-quality-metrics-2.txt
+	/tmp/bddkit-obscheck-q -quiet -require quality.op /tmp/bddkit-obs-quality-smoke.jsonl
+	@echo "obs-quality-smoke OK"
 
 ## profile-smoke: exercise the structural profiler — forest profile with
 ## the live-node cross-check, plus a single-output profile after RUA.

@@ -11,7 +11,10 @@
 //	bddlab -in circuit.net -out y3 -dot f.dot   # Graphviz dump
 //
 // The netlist format is the BLIF-flavored text format of
-// internal/circuit/parse.go (see README).
+// internal/circuit/parse.go (see README). Approximation and decomposition
+// runs file quality-ledger records (mass retained, nodes shed, budget
+// headroom); start with -obs :6060 to expose them on /metrics and
+// /quality, or pass -metrics for the end-of-run ledger table.
 package main
 
 import (

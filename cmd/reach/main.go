@@ -8,6 +8,13 @@
 //	reach -model s5378 -scale full -method bfs -budget 5m
 //	reach -in mydesign.net -method hd-sp -threshold 2000
 //	reach -model counter -method bfs -trace trace.jsonl -obs :6060
+//
+// With -obs the run serves the observability endpoint (Prometheus
+// /metrics, the /quality approximation-loss ledger, /timeseries gauge
+// trajectories sampled every -obs-sample, and /parallel); watch it live
+// with `bddtop -addr localhost:6060`. Every traversal iteration files a
+// quality.op ledger record (fresh mass discovered, mass the subsetted
+// frontier kept, budget headroom), summarized at exit by -metrics.
 package main
 
 import (

@@ -17,6 +17,12 @@
 // efficiency, and the share of the perfect-scaling gap explained by
 // stop-the-world time).
 //
+// With -obs the run serves the observability endpoint (/metrics in
+// Prometheus exposition, /quality, /timeseries, /parallel) for scrapers
+// and for `bddtop`; Table 1 method rows additionally capture the quality
+// ledger's per-method delta (operation count, aborts, mean/min mass
+// retained) into the JSON benchmark records.
+//
 // See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
 
@@ -92,6 +98,7 @@ func main() {
 		if *paper {
 			cfg = bench.Table1Paper(*budget)
 		}
+		cfg.Observe = sess.ObserveManager
 		rows, err := bench.RunTable1(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -8,11 +8,14 @@
 //	traceview amdahl trace.jsonl       # serial-fraction (STW) breakdown
 //
 // "-" reads a trace from stdin. The summary mode prints one rollup line
-// per span/event name (count, total and self wall time, p50/p95) followed
-// by a per-iteration critical-path breakdown for reachability traces; the
+// per span/event name (count, total and self wall time, p50/p95) —
+// including the schema-v3 quality.op ledger events — followed by a
+// per-iteration critical-path breakdown for reachability traces; the
 // diff mode prints the per-phase wall-time deltas of B relative to A,
-// largest change first. The amdahl mode aggregates the bdd.stw events of a
-// parallel run into a per-cause stop-the-world table, the measured serial
+// largest change first, tolerating one-sided phases: a name present in
+// only one trace is reported with an "added"/"removed" ratio instead of
+// failing. The amdahl mode aggregates the bdd.stw events of a parallel
+// run into a per-cause stop-the-world table, the measured serial
 // fraction, and the speedup bound it implies.
 package main
 

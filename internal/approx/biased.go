@@ -21,6 +21,7 @@ func BiasedUnderApprox(m *bdd.Manager, f, bias bdd.Ref, threshold int, quality, 
 	if weight < 1 {
 		weight = 1
 	}
+	lg := beginLedger(m, "biased", f, threshold)
 	in := analyze(m, f)
 	// Reweigh each node's minterm fraction by how much of it lies in the
 	// bias set: frac' = frac + (weight-1)·frac(f ∧ bias at the node).
@@ -30,7 +31,9 @@ func BiasedUnderApprox(m *bdd.Manager, f, bias bdd.Ref, threshold int, quality, 
 	in.biasWeight = weight
 	in.biasFrac = computeBiasFractions(in, f, bias)
 	markNodes(in, f, threshold, quality)
-	return buildResult(in, f)
+	r := buildResult(in, f)
+	lg.done(r)
+	return r
 }
 
 // computeBiasFractions returns, for every regular node id reachable in f,

@@ -12,26 +12,32 @@ import "bddkit/internal/bdd"
 // minimization against f. It never produces a larger BDD than RUA and
 // never retains fewer minterms, so it "never loses to RUA".
 func Compound1(m *bdd.Manager, f bdd.Ref, threshold int, quality float64) bdd.Ref {
+	lg := beginLedger(m, "c1", f, threshold)
 	r := RemapUnderApprox(m, f, threshold, quality)
 	if r == bdd.Zero {
+		lg.done(r)
 		return r
 	}
 	res := m.Minimize(r, f)
 	m.Deref(r)
+	lg.done(res)
 	return res
 }
 
 // Compound2 is C2 of Table 3: ShortPaths, then RemapUnderApprox, then safe
 // minimization against f. spThreshold bounds the intermediate SP subset.
 func Compound2(m *bdd.Manager, f bdd.Ref, spThreshold int, quality float64) bdd.Ref {
+	lg := beginLedger(m, "c2", f, spThreshold)
 	s := ShortPaths(m, f, spThreshold)
 	r := RemapUnderApprox(m, s, 0, quality)
 	m.Deref(s)
 	if r == bdd.Zero {
+		lg.done(r)
 		return r
 	}
 	res := m.Minimize(r, f)
 	m.Deref(r)
+	lg.done(res)
 	return res
 }
 

@@ -26,6 +26,7 @@ func HeavyBranch(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 			obs.Int("size_in", m.DagSize(f)),
 			obs.Int("threshold", threshold))
 	}
+	lg := beginLedger(m, "hb", f, threshold)
 	type step struct {
 		v      int
 		takeHi bool
@@ -57,6 +58,7 @@ func HeavyBranch(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 		m.Deref(r)
 		r = nr
 	}
+	lg.done(r)
 	if sp != nil {
 		sp.End(obs.Int("size_out", m.DagSize(r)),
 			obs.Str("level_deltas", levelDeltas(m, f, r)))

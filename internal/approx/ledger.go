@@ -1,0 +1,75 @@
+package approx
+
+import (
+	"time"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/obs"
+)
+
+// Quality-ledger instrumentation shared by every approximation operator.
+// beginLedger snapshots the input side (DAG size, minterm mass, GC/STW
+// time already accrued) and done files the obs.OpRecord. The nil receiver
+// is the disabled path: when the ledger is disarmed beginLedger returns
+// nil and neither the DagSize sweep nor the MintermFraction sweep runs,
+// so un-observed workloads pay one atomic load per operator call.
+
+type opLedger struct {
+	m         *bdd.Manager
+	op        string
+	threshold int
+	start     time.Time
+	sizeIn    int
+	massIn    float64
+	gc0       time.Duration
+	stw0      time.Duration
+}
+
+// beginLedger opens a ledger record for op applied to f. threshold is the
+// operator's node target (0 = none).
+func beginLedger(m *bdd.Manager, op string, f bdd.Ref, threshold int) *opLedger {
+	if !obs.L.Enabled() {
+		return nil
+	}
+	st := m.Stats()
+	return &opLedger{
+		m:         m,
+		op:        op,
+		threshold: threshold,
+		start:     time.Now(),
+		sizeIn:    m.DagSize(f),
+		massIn:    m.MintermFraction(f),
+		gc0:       st.GCTime,
+		stw0:      st.STWTime,
+	}
+}
+
+// done files the record for result r. Nil-safe (disabled path).
+func (lg *opLedger) done(r bdd.Ref) {
+	if lg == nil {
+		return
+	}
+	m := lg.m
+	st := m.Stats()
+	rec := obs.OpRecord{
+		Kind:        "approx",
+		Op:          lg.op,
+		SizeIn:      lg.sizeIn,
+		SizeOut:     m.DagSize(r),
+		MassIn:      lg.massIn,
+		MassOut:     m.MintermFraction(r),
+		Threshold:   lg.threshold,
+		BudgetLimit: m.NodeLimit(),
+		BudgetLive:  m.NodeCount(),
+		DurNS:       time.Since(lg.start).Nanoseconds(),
+		GCNS:        (st.GCTime - lg.gc0).Nanoseconds(),
+		STWNS:       (st.STWTime - lg.stw0).Nanoseconds(),
+	}
+	if rec.SizeIn > 0 {
+		rec.DensityIn = rec.MassIn / float64(rec.SizeIn)
+	}
+	if rec.SizeOut > 0 {
+		rec.DensityOut = rec.MassOut / float64(rec.SizeOut)
+	}
+	obs.L.Record(rec)
+}

@@ -47,10 +47,12 @@ func RemapUnderApproxConfig(m *bdd.Manager, f bdd.Ref, threshold int, quality fl
 			obs.Int("threshold", threshold),
 			obs.F64("quality", quality))
 	}
+	lg := beginLedger(m, "rua", f, threshold)
 	in := analyze(m, f)
 	in.cfg = cfg
 	markNodes(in, f, threshold, quality)
 	r := buildResult(in, f)
+	lg.done(r)
 	if sp != nil {
 		sp.End(obs.Int("size_out", m.DagSize(r)),
 			obs.Str("level_deltas", levelDeltas(m, f, r)))

@@ -29,6 +29,7 @@ func ShortPaths(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 			obs.Int("size_in", m.DagSize(f)),
 			obs.Int("threshold", threshold))
 	}
+	lg := beginLedger(m, "sp", f, threshold)
 	sp := &shortPaths{m: m, dist: make(map[bdd.Ref]int)}
 	dmin := sp.distToOne(f)
 	lo, hi := dmin, m.NumVars()
@@ -55,6 +56,7 @@ func ShortPaths(m *bdd.Manager, f bdd.Ref, threshold int) bdd.Ref {
 		// Even the shortest paths overflow the threshold.
 		best = sp.subset(f, dmin)
 	}
+	lg.done(best)
 	if span != nil {
 		span.End(obs.Int("size_out", m.DagSize(best)),
 			obs.Str("level_deltas", levelDeltas(m, f, best)))

@@ -32,9 +32,12 @@ func UnderApprox(m *bdd.Manager, f bdd.Ref, threshold int, alpha float64) bdd.Re
 	if alpha <= 0 || alpha >= 1 {
 		alpha = 0.5
 	}
+	lg := beginLedger(m, "ua", f, threshold)
 	in := analyze(m, f)
 	uaMark(in, f, threshold, alpha)
-	return buildResult(in, f)
+	r := buildResult(in, f)
+	lg.done(r)
+	return r
 }
 
 // OverApprox is the dual of UnderApprox: f ⇒ OverApprox(f).

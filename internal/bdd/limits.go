@@ -47,6 +47,16 @@ func (m *Manager) SetNodeLimit(n int) {
 	m.exclusive(func() { m.nodeLimit = n })
 }
 
+// NodeLimit returns the armed live-node ceiling (0 = none). The read is
+// advisory: limits are configured between operations, so instrumentation
+// reading it mid-run (budget-pressure gauges) sees the value that governs
+// the current operation.
+func (m *Manager) NodeLimit() int { return m.nodeLimit }
+
+// Deadline returns the armed wall-clock limit (zero time = none), advisory
+// like NodeLimit.
+func (m *Manager) Deadline() time.Time { return m.deadline }
+
 // checkLimits is called from node allocation.
 func (m *Manager) checkLimits() {
 	if m.noGC {

@@ -106,6 +106,36 @@ func (s CacheStats) String() string {
 	return b.String()
 }
 
+// ArenaStats is a snapshot of node-arena occupancy: how much of the
+// allocated slot capacity is live, dead (awaiting collection), or free.
+type ArenaStats struct {
+	Capacity int // allocated node slots (including the unused slot 0)
+	Live     int // live nodes, including the terminal
+	Dead     int // dead nodes awaiting collection
+}
+
+// Occupancy returns (Live+Dead)/Capacity, the fraction of arena slots in
+// use — the gauge a long-running traversal watches to anticipate GC and
+// arena growth.
+func (s ArenaStats) Occupancy() float64 {
+	if s.Capacity == 0 {
+		return 0
+	}
+	return float64(s.Live+s.Dead) / float64(s.Capacity)
+}
+
+// ArenaStats returns the arena-occupancy snapshot. On a parallel manager
+// the counts are advisory (like NodeCount), but the capacity read holds
+// the memory lease so a concurrent arena growth cannot swap the slice
+// header mid-read.
+func (m *Manager) ArenaStats() ArenaStats {
+	var s ArenaStats
+	m.readLocked(func() { s.Capacity = len(m.nodes) })
+	s.Live = m.NodeCount()
+	s.Dead = m.DeadCount()
+	return s
+}
+
 // UniqueStats is a snapshot of the unique table across all levels,
 // including the bucket-chain length distribution that the growth policy
 // keeps short.

@@ -15,7 +15,12 @@
 // (disjunctive). Returned references are owned by the caller.
 package decomp
 
-import "bddkit/internal/bdd"
+import (
+	"time"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/obs"
+)
 
 // Points is a set of decomposition points, identified by node id (see
 // bdd.Ref.ID); the factoring cuts the BDD at these nodes.
@@ -65,20 +70,83 @@ type Config struct {
 // DecomposeConfig is Decompose with explicit combine-step configuration.
 func DecomposeConfig(m *bdd.Manager, f bdd.Ref, pts Points, cfg Config) Pair {
 	defer m.PauseAutoReorder()()
+	lg := beginLedger(m, "conj", f)
 	d := &decomposer{
 		m: m, pts: pts, cfg: cfg,
 		opG: m.CacheOp(), opH: m.CacheOp(),
 		est: make(map[bdd.Ref][2]int),
 	}
 	e := d.rec(f)
-	return Pair{G: e.g, H: e.h}
+	p := Pair{G: e.g, H: e.h}
+	lg.done(p.SharedSize(m))
+	return p
 }
 
 // DecomposeDisjunctive factors f disjunctively (G ∨ H = f) by dualizing:
 // the conjunctive factors of ¬f are complemented.
 func DecomposeDisjunctive(m *bdd.Manager, f bdd.Ref, pts Points) Pair {
+	lg := beginLedger(m, "disj", f)
 	p := Decompose(m, f.Complement(), pts)
-	return Pair{G: p.G.Complement(), H: p.H.Complement()}
+	p = Pair{G: p.G.Complement(), H: p.H.Complement()}
+	lg.done(p.SharedSize(m))
+	return p
+}
+
+// decompLedger captures the input side of a decomposition for the quality
+// ledger. Decompositions are exact — G∧H (or G∨H, or the McMillan
+// conjunction) equals f — so mass is retained by construction and the
+// interesting quality signal is structural: how many shared nodes the
+// factored form needs versus the monolithic input.
+type decompLedger struct {
+	m      *bdd.Manager
+	op     string
+	start  time.Time
+	sizeIn int
+	massIn float64
+	gc0    time.Duration
+	stw0   time.Duration
+}
+
+func beginLedger(m *bdd.Manager, op string, f bdd.Ref) *decompLedger {
+	if !obs.L.Enabled() {
+		return nil
+	}
+	st := m.Stats()
+	return &decompLedger{
+		m: m, op: op, start: time.Now(),
+		sizeIn: m.DagSize(f), massIn: m.MintermFraction(f),
+		gc0: st.GCTime, stw0: st.STWTime,
+	}
+}
+
+// done files the record; sizeOut is the shared size of the factored form.
+// Nil-safe (disabled path).
+func (lg *decompLedger) done(sizeOut int) {
+	if lg == nil {
+		return
+	}
+	st := lg.m.Stats()
+	rec := obs.OpRecord{
+		Kind:         "decomp",
+		Op:           lg.op,
+		SizeIn:       lg.sizeIn,
+		SizeOut:      sizeOut,
+		MassIn:       lg.massIn,
+		MassOut:      lg.massIn, // exact: factors reconstruct f
+		MassRetained: 1,
+		BudgetLimit:  lg.m.NodeLimit(),
+		BudgetLive:   lg.m.NodeCount(),
+		DurNS:        time.Since(lg.start).Nanoseconds(),
+		GCNS:         (st.GCTime - lg.gc0).Nanoseconds(),
+		STWNS:        (st.STWTime - lg.stw0).Nanoseconds(),
+	}
+	if rec.SizeIn > 0 {
+		rec.DensityIn = rec.MassIn / float64(rec.SizeIn)
+	}
+	if rec.SizeOut > 0 {
+		rec.DensityOut = rec.MassOut / float64(rec.SizeOut)
+	}
+	obs.L.Record(rec)
 }
 
 type entry struct {

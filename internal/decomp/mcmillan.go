@@ -20,6 +20,7 @@ func McMillan(m *bdd.Manager, f bdd.Ref) []bdd.Ref {
 	if f.IsConstant() {
 		return []bdd.Ref{m.Ref(f)}
 	}
+	lg := beginLedger(m, "mcmillan", f)
 	support := m.SupportVars(f)
 	// Sort support by level so projections peel variables bottom-up.
 	byLevel := make([]int, len(support))
@@ -51,6 +52,7 @@ func McMillan(m *bdd.Manager, f bdd.Ref) []bdd.Ref {
 	if len(factors) == 0 {
 		factors = append(factors, bdd.One)
 	}
+	lg.done(m.SharingSize(factors))
 	return factors
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -17,18 +18,26 @@ import (
 //	-obs ADDR          live endpoint serving pprof, expvar, /metrics,
 //	                   /flight, /parallel
 //	-par-sample N      1-in-N fine-grained parallel-engine sampling
+//	-obs-sample D      time-series sampler interval for /timeseries
 //	-stall-deadline D  stall-watchdog deadline (also BDDKIT_STALL_DEADLINE)
 //	-obs-linger D      keep the session open this long at Close
 //
 // Any one of the first three arms the flight recorder, so a panic or
-// node-budget exhaustion dumps the recent trace events to stderr. The
-// parallel knobs only take effect when the session is otherwise enabled
-// and a multi-worker manager is observed.
+// node-budget exhaustion dumps the recent trace events to stderr, and
+// arms the quality ledger (obs.L), so approximation/decomposition/reach
+// operations record their loss. The parallel knobs only take effect when
+// the session is otherwise enabled and a multi-worker manager is
+// observed; the time-series sampler runs only with a live -obs endpoint.
 type Config struct {
 	Trace      string
 	Metrics    bool
 	Addr       string
 	FlightSize int // ring capacity in events (0 = DefaultFlightSize)
+
+	// SampleInterval is the /timeseries ring sampling period (0 =
+	// DefaultSampleInterval). Sampling starts when a manager is observed
+	// and the live endpoint is up.
+	SampleInterval time.Duration
 
 	// ParSample arms bdd.SetParSampling(ParSample) for the session (0
 	// leaves fine-grained sampling off; the previous rate is restored at
@@ -51,6 +60,8 @@ func (c *Config) AddFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.Addr, "obs", "", "serve pprof/expvar/metrics on this `address` (e.g. :6060)")
 	fs.IntVar(&c.ParSample, "par-sample", bdd.DefaultParSampleRate,
 		"sample 1-in-`N` parallel lock waits and steals when obs is enabled (0 = off)")
+	fs.DurationVar(&c.SampleInterval, "obs-sample", DefaultSampleInterval,
+		"time-series sampler `interval` for the obs endpoint's /timeseries ring")
 	fs.DurationVar(&c.StallDeadline, "stall-deadline", envStallDeadline(),
 		"arm the parallel stall watchdog with this `deadline` (0 = off; default $BDDKIT_STALL_DEADLINE)")
 	fs.DurationVar(&c.Linger, "obs-linger", 0,
@@ -93,11 +104,18 @@ type Session struct {
 	traceFile *os.File
 	stopHTTP  func()
 
-	// mu guards the fields the /parallel handler and Close read while the
-	// workload is still installing them (mgr, sampler, watchdog).
+	// dumpW receives flight-recorder dumps (budget aborts, invariant
+	// failures, stalls, panics); os.Stderr unless SetDumpWriter redirects
+	// it (tests capture dumps this way).
+	dumpW io.Writer
+
+	// mu guards the fields the /parallel and /timeseries handlers and
+	// Close read while the workload is still installing them (mgr,
+	// samplers, watchdog).
 	mu           sync.Mutex
 	mgr          *bdd.Manager
 	sampler      *ParSampler
+	timeSampler  *TimeSampler
 	stopWatchdog func()
 	prevSample   int
 	sampleArmed  bool
@@ -123,6 +141,7 @@ func (c Config) Start() (*Session, error) {
 		Registry: NewRegistry(),
 		Tracer:   T,
 		cfg:      c,
+		dumpW:    os.Stderr,
 	}
 	if !c.Enabled() {
 		return s, nil
@@ -152,6 +171,21 @@ func (c Config) Start() (*Session, error) {
 	s.stwPause = s.Registry.Histogram("bdd_stw_pause_ns")
 	s.stwCount = s.Registry.Counter("bdd_stw_total")
 	s.stalls = s.Registry.Counter("bdd_stall_reports_total")
+	for name, text := range map[string]string{
+		"bdd_gc_pause_ns":          "garbage-collection pause durations",
+		"bdd_gc_total":             "garbage collections observed",
+		"bdd_gc_reclaimed_nodes":   "nodes reclaimed by garbage collection",
+		"bdd_reorder_ns":           "variable-reordering pass durations",
+		"bdd_reorder_total":        "variable-reordering passes observed",
+		"bdd_budget_aborts_total":  "node-budget aborts observed",
+		"bdd_debug_failures_total": "DebugCheck invariant failures observed",
+		"bdd_stw_pause_ns":         "write-lease stop-the-world pause durations",
+		"bdd_stw_total":            "write-lease stop-the-world epochs observed",
+		"bdd_stall_reports_total":  "parallel stall-watchdog reports",
+	} {
+		s.Registry.SetHelp(name, text)
+	}
+	L.arm(s.Registry, T)
 	s.prevSample = bdd.ParSampling()
 	if c.ParSample > 0 {
 		bdd.SetParSampling(c.ParSample)
@@ -204,6 +238,14 @@ func (s *Session) ObserveManager(m *bdd.Manager) {
 	r.GaugeFunc("bdd_unique_lookups", func() float64 { return float64(m.Stats().UniqueLookups) })
 	r.GaugeFunc("bdd_unique_hits", func() float64 { return float64(m.Stats().UniqueHits) })
 	r.GaugeFunc("bdd_unique_grows", func() float64 { return float64(m.Stats().UniqueGrows) })
+	r.GaugeFunc("bdd_node_limit", func() float64 { return float64(m.NodeLimit()) })
+	r.GaugeFunc("bdd_budget_headroom", func() float64 { return headroom(m.NodeLimit(), m.NodeCount()) })
+	r.GaugeFunc("bdd_arena_capacity", func() float64 { return float64(m.ArenaStats().Capacity) })
+	r.GaugeFunc("bdd_arena_occupancy", func() float64 { return m.ArenaStats().Occupancy() })
+	r.SetHelp("bdd_node_limit", "armed live-node ceiling (0 = unlimited)")
+	r.SetHelp("bdd_budget_headroom", "remaining node-budget fraction (1 = unconstrained)")
+	r.SetHelp("bdd_arena_capacity", "node-arena slot capacity")
+	r.SetHelp("bdd_arena_occupancy", "fraction of arena slots holding live or dead nodes")
 	r.GaugeFunc("bdd_workers", func() float64 { return float64(m.Workers()) })
 	r.GaugeFunc("bdd_tasks_stolen", func() float64 { return float64(m.Stats().TasksStolen) })
 	r.GaugeFunc("bdd_tasks_local", func() float64 { return float64(m.Stats().TasksLocal) })
@@ -216,6 +258,13 @@ func (s *Session) ObserveManager(m *bdd.Manager) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mgr = m
+	if s.cfg.Addr != "" {
+		if s.timeSampler == nil {
+			s.timeSampler = newTimeSampler(m, L, s.cfg.SampleInterval)
+		} else {
+			s.timeSampler.SetManager(m)
+		}
+	}
 	if m.Workers() > 1 {
 		if s.cfg.StallDeadline > 0 && s.stopWatchdog == nil {
 			s.stopWatchdog = m.StartStallWatchdog(s.cfg.StallDeadline)
@@ -224,6 +273,36 @@ func (s *Session) ObserveManager(m *bdd.Manager) {
 			s.sampler = newParSampler(m, 0)
 		}
 	}
+}
+
+// SetDumpWriter redirects flight-recorder dumps (budget aborts, invariant
+// failures, stalls, panics) away from os.Stderr — tests assert on dump
+// contents this way. A nil w restores stderr.
+func (s *Session) SetDumpWriter(w io.Writer) {
+	if w == nil {
+		w = os.Stderr
+	}
+	s.mu.Lock()
+	s.dumpW = w
+	s.mu.Unlock()
+}
+
+// dumpWriter returns the current dump destination.
+func (s *Session) dumpWriter() io.Writer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dumpW == nil {
+		return os.Stderr
+	}
+	return s.dumpW
+}
+
+// sampleInterval reports the effective /timeseries sampling period.
+func (s *Session) sampleInterval() time.Duration {
+	if s.cfg.SampleInterval > 0 {
+		return s.cfg.SampleInterval
+	}
+	return DefaultSampleInterval
 }
 
 // Close flushes the trace sink, stops the HTTP endpoint, uninstalls the
@@ -247,9 +326,16 @@ func (s *Session) Close() {
 		s.sampler.Stop()
 		s.sampler = nil
 	}
+	if s.timeSampler != nil {
+		s.timeSampler.Stop()
+		s.timeSampler = nil
+	}
 	mgr := s.mgr
 	s.mgr = nil
 	s.mu.Unlock()
+	if L.Enabled() {
+		L.disarm()
+	}
 	if mgr != nil && mgr.Workers() > 1 {
 		s.emitContention(mgr.ParTelemetry())
 	}
@@ -279,6 +365,10 @@ func (s *Session) Close() {
 	if s.cfg.Metrics {
 		fmt.Fprintln(os.Stderr, "--- metrics snapshot ---")
 		s.Registry.WriteText(os.Stderr)
+		if snap := L.Snapshot(); snap.Ops > 0 {
+			fmt.Fprintln(os.Stderr, "--- quality ledger ---")
+			snap.WriteReport(os.Stderr)
+		}
 	}
 }
 
@@ -289,7 +379,7 @@ func (s *Session) Close() {
 func (s *Session) DumpOnPanic() {
 	if r := recover(); r != nil {
 		if s != nil && s.Flight != nil {
-			s.Flight.Dump(os.Stderr, fmt.Sprintf("panic: %v", r))
+			s.Flight.Dump(s.dumpWriter(), fmt.Sprintf("panic: %v", r))
 		}
 		panic(r)
 	}
@@ -316,12 +406,16 @@ func (s *Session) Reorder(before, after int, dur time.Duration) {
 }
 
 // Abort dumps the flight recorder: node-budget exhaustion is exactly the
-// moment the recent trace history explains what grew.
+// moment the recent trace history explains what grew. The emitted
+// bdd.abort event carries the open-span stack — open spans have not
+// written their own records yet, so without it the dump could not say
+// *where* the run died.
 func (s *Session) Abort(reason string) {
 	s.aborts.Inc()
-	s.Tracer.Event("bdd.abort", Str("reason", reason))
+	s.Tracer.Event("bdd.abort",
+		Str("reason", reason), Str("stack", s.Tracer.StackString()))
 	if s.Flight != nil {
-		s.Flight.Dump(os.Stderr, "node budget exhausted: "+reason)
+		s.Flight.Dump(s.dumpWriter(), "node budget exhausted: "+reason)
 	}
 }
 
@@ -330,7 +424,7 @@ func (s *Session) DebugFailure(err error) {
 	s.debugFails.Inc()
 	s.Tracer.Event("bdd.debug_failure", Str("error", err.Error()))
 	if s.Flight != nil {
-		s.Flight.Dump(os.Stderr, "DebugCheck failure: "+err.Error())
+		s.Flight.Dump(s.dumpWriter(), "DebugCheck failure: "+err.Error())
 	}
 }
 
@@ -355,7 +449,7 @@ func (s *Session) Stall(report string, stuck time.Duration) {
 	s.stalls.Inc()
 	s.Tracer.Event("bdd.stall", Str("report", report), Dur("stuck_ns", stuck))
 	if s.Flight != nil {
-		s.Flight.Dump(os.Stderr, "parallel engine stalled for "+stuck.String()+":\n"+report)
+		s.Flight.Dump(s.dumpWriter(), "parallel engine stalled for "+stuck.String()+":\n"+report)
 	}
 }
 

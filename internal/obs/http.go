@@ -16,12 +16,17 @@ import (
 //
 //	/debug/pprof/...   net/http/pprof (CPU, heap, goroutine, trace, ...)
 //	/debug/vars        expvar, including the registry under "bddkit"
-//	/metrics           plaintext registry snapshot (sorted name value)
+//	/metrics           registry snapshot in Prometheus text exposition
 //	/flight            current flight-recorder contents as JSONL
+//	/quality           operation-ledger snapshot (per-operator loss) as JSON
+//	/timeseries        time-sampler ring (gauge trajectories) as JSON
+//	/parallel          parallel-engine telemetry as JSON
 //	/                  an index of the above
 //
 // The endpoint is a debug surface: snapshots read live counters without
 // synchronization and are advisory while the engines are running.
+// /metrics is additionally a production surface — standard Prometheus
+// scrapers consume it directly, and `obscheck -prom` lints it.
 
 // expvar.Publish panics on duplicate names, and tests may start several
 // sessions in one process, so the "bddkit" var is published once and
@@ -54,14 +59,32 @@ func (s *Session) serve(addr string) (func(), error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		s.Registry.WriteText(w)
+		w.Header().Set("Content-Type", PromContentType)
+		s.Registry.WritePrometheus(w)
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		if s.Flight != nil {
 			s.Flight.WriteTo(w) //nolint:errcheck // client went away
 		}
+	})
+	mux.HandleFunc("/quality", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(L.Snapshot()) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.mu.Lock()
+		ts := s.timeSampler
+		s.mu.Unlock()
+		resp := struct {
+			Interval string      `json:"interval"`
+			Points   []TimePoint `json:"points"`
+		}{Interval: s.sampleInterval().String()}
+		if ts != nil {
+			resp.Points = ts.History()
+		}
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("/parallel", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -93,10 +116,12 @@ func (s *Session) serve(addr string) (func(), error) {
 			return
 		}
 		fmt.Fprint(w, "bddkit observability endpoint\n\n"+
-			"  /metrics      plaintext metrics snapshot\n"+
+			"  /metrics      Prometheus text exposition (scrape me)\n"+
 			"  /debug/vars   expvar JSON (registry under \"bddkit\")\n"+
 			"  /debug/pprof  live profiling\n"+
 			"  /flight       flight-recorder contents (JSONL)\n"+
+			"  /quality      approximation-loss ledger snapshot (JSON)\n"+
+			"  /timeseries   sampled gauge trajectories (JSON)\n"+
 			"  /parallel     live parallel-engine telemetry (workers, contention, STW)\n")
 	})
 

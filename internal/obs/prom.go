@@ -1,0 +1,453 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry, plus
+// a parser and linter for it. The writer makes /metrics scrapeable by any
+// standard collector; the parser/linter back `obscheck -prom`, the gate
+// behind `make obs-quality-smoke`.
+//
+// Histograms translate exactly: the registry's power-of-two buckets count
+// observations v with 2^(i-1) <= v < 2^i, so for the integer values we
+// observe (nanoseconds, node counts, permille ratios) the cumulative count
+// through bucket i is precisely the number of observations <= 2^i - 1.
+// Those are the le bounds emitted — no approximation crosses the wire.
+
+// PromContentType is the Content-Type of the exposition format served on
+// /metrics.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every registered metric in exposition format,
+// families sorted by name. Counters become TYPE counter; gauges and
+// gauge-funcs TYPE gauge; histograms TYPE histogram with cumulative
+// le-buckets, _sum, and _count. Empty buckets are elided (le="+Inf" always
+// remains), keeping the page proportional to what was actually observed.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	type family struct {
+		name, typ string
+		write     func(io.Writer)
+	}
+	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.histos))
+	for name, c := range r.counters {
+		c := c
+		fams = append(fams, family{name, "counter", func(w io.Writer) {
+			fmt.Fprintf(w, "%s %d\n", name, c.Value())
+		}})
+	}
+	for name, g := range r.gauges {
+		g := g
+		fams = append(fams, family{name, "gauge", func(w io.Writer) {
+			fmt.Fprintf(w, "%s %d\n", name, g.Value())
+		}})
+	}
+	for name, fn := range r.funcs {
+		fn := fn
+		fams = append(fams, family{name, "gauge", func(w io.Writer) {
+			v := fn()
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			fmt.Fprintf(w, "%s %s\n", name, formatPromValue(v))
+		}})
+	}
+	for name, h := range r.histos {
+		h := h
+		fams = append(fams, family{name, "histogram", func(w io.Writer) {
+			writePromHistogram(w, name, h)
+		}})
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		text := help[f.name]
+		if text == "" {
+			text = "bddkit metric " + f.name
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapePromHelp(text))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		f.write(w)
+	}
+}
+
+func writePromHistogram(w io.Writer, name string, h *Histogram) {
+	counts := h.BucketCounts()
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if c == 0 {
+			continue
+		}
+		// Upper bound of bucket i, inclusive for integer observations:
+		// bucket 0 holds v <= 0, bucket i holds v < 2^i.
+		var le int64
+		if i > 0 {
+			le = int64(1)<<uint(i) - 1
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// formatPromValue renders a float the way Prometheus clients expect:
+// integral values without an exponent, everything else in shortest form.
+func formatPromValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapePromHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// --- parsing -------------------------------------------------------------
+
+// PromSample is one series sample: the family name, the raw label string
+// (sorted as written, "" when unlabeled), and the value.
+type PromSample struct {
+	Name   string
+	Labels string
+	Value  float64
+	Line   int
+}
+
+// Series returns the full series identity, name plus labels.
+func (s PromSample) Series() string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// PromFamily is one metric family: its declared type/help and samples in
+// file order. For histograms the samples span the _bucket/_sum/_count
+// suffixed series.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// PromScrape is a parsed exposition page.
+type PromScrape struct {
+	Families map[string]*PromFamily
+	Order    []string // family names in first-appearance order
+}
+
+// Family returns the named family, nil when absent.
+func (p *PromScrape) Family(name string) *PromFamily {
+	if p == nil {
+		return nil
+	}
+	return p.Families[name]
+}
+
+// Value returns the value of an unlabeled series (or the first sample with
+// the given name), with ok=false when the series is absent. Histogram
+// sub-series are addressed by their suffixed name (e.g. "foo_count").
+func (p *PromScrape) Value(name string) (float64, bool) {
+	fam := p.Family(familyOf(name))
+	if fam == nil {
+		return 0, false
+	}
+	for _, s := range fam.Samples {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// familyOf strips the histogram sub-series suffixes so _bucket/_sum/_count
+// samples group under their family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// ParsePrometheus parses text exposition format. It is strict about line
+// shape (the linter depends on it) but does not validate semantics — that
+// is LintPrometheus's job.
+func ParsePrometheus(r io.Reader) (*PromScrape, error) {
+	scrape := &PromScrape{Families: make(map[string]*PromFamily)}
+	fam := func(name string) *PromFamily {
+		f, ok := scrape.Families[name]
+		if !ok {
+			f = &PromFamily{Name: name}
+			scrape.Families[name] = f
+			scrape.Order = append(scrape.Order, name)
+		}
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			f := fam(fields[2])
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, f.Name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, f.Name)
+				}
+				f.Type = fields[3]
+			} else {
+				if f.Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, f.Name)
+				}
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				} else {
+					f.Help = " " // present but empty
+				}
+			}
+			continue
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		sample.Line = lineNo
+		f := fam(familyOf(sample.Name))
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return scrape, nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("malformed labels in %q", line)
+		}
+		s.Name = rest[:i]
+		s.Labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// --- linting -------------------------------------------------------------
+
+// LintPrometheus checks one parsed scrape for exposition-format problems
+// and returns them as human-readable strings (empty = clean):
+//
+//   - duplicate series (same name + label set appearing twice),
+//   - samples whose family has no TYPE or no HELP line,
+//   - unknown TYPE values,
+//   - negative or non-finite counter values,
+//   - histograms whose le-buckets are non-cumulative, lack le="+Inf", or
+//     disagree with their _count.
+func LintPrometheus(scrape *PromScrape) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	for _, name := range scrape.Order {
+		f := scrape.Families[name]
+		if len(f.Samples) == 0 {
+			addf("family %s: HELP/TYPE declared but no samples", name)
+			continue
+		}
+		if f.Type == "" {
+			addf("family %s: missing # TYPE line", name)
+		}
+		if f.Help == "" {
+			addf("family %s: missing # HELP line", name)
+		}
+		switch f.Type {
+		case "", "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			addf("family %s: unknown type %q", name, f.Type)
+		}
+		seen := make(map[string]int)
+		for _, s := range f.Samples {
+			key := s.Series()
+			if prev, dup := seen[key]; dup {
+				addf("series %s: duplicate sample (lines %d and %d)", key, prev, s.Line)
+			}
+			seen[key] = s.Line
+		}
+		if f.Type == "counter" {
+			for _, s := range f.Samples {
+				if s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+					addf("counter %s: invalid value %v (line %d)", s.Series(), s.Value, s.Line)
+				}
+			}
+		}
+		if f.Type == "histogram" {
+			problems = append(problems, lintPromHistogram(f)...)
+		}
+	}
+	return problems
+}
+
+func lintPromHistogram(f *PromFamily) []string {
+	var problems []string
+	var (
+		prevCum   float64
+		prevLe    = math.Inf(-1)
+		infCum    = math.NaN()
+		count     = math.NaN()
+		sawBucket bool
+	)
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			sawBucket = true
+			leStr := promLabelValue(s.Labels, "le")
+			if leStr == "" {
+				problems = append(problems, fmt.Sprintf("histogram %s: bucket without le label (line %d)", f.Name, s.Line))
+				continue
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				v, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					problems = append(problems, fmt.Sprintf("histogram %s: bad le %q (line %d)", f.Name, leStr, s.Line))
+					continue
+				}
+				le = v
+			}
+			if le <= prevLe {
+				problems = append(problems, fmt.Sprintf("histogram %s: le %q out of order (line %d)", f.Name, leStr, s.Line))
+			}
+			if s.Value < prevCum {
+				problems = append(problems, fmt.Sprintf("histogram %s: bucket le=%q count %v below previous %v (line %d)",
+					f.Name, leStr, s.Value, prevCum, s.Line))
+			}
+			prevLe, prevCum = le, s.Value
+			if math.IsInf(le, 1) {
+				infCum = s.Value
+			}
+		case f.Name + "_count":
+			count = s.Value
+		}
+	}
+	if sawBucket && math.IsNaN(infCum) {
+		problems = append(problems, fmt.Sprintf("histogram %s: missing le=\"+Inf\" bucket", f.Name))
+	}
+	if !math.IsNaN(infCum) && !math.IsNaN(count) && infCum != count {
+		problems = append(problems, fmt.Sprintf("histogram %s: le=\"+Inf\" bucket %v != _count %v", f.Name, infCum, count))
+	}
+	return problems
+}
+
+// promLabelValue extracts one label's (unescaped) value from a raw label
+// string like `le="255",job="x"`.
+func promLabelValue(labels, key string) string {
+	for _, part := range strings.Split(labels, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) == 2 && kv[0] == key {
+			return strings.Trim(kv[1], `"`)
+		}
+	}
+	return ""
+}
+
+// CheckCounterMonotonic compares two scrapes of the same process (prev
+// taken before cur) and reports counter series that went backwards —
+// the non-monotonicity lint `obscheck -prom A B` applies. Series present
+// in only one scrape are fine (registration happens lazily).
+func CheckCounterMonotonic(prev, cur *PromScrape) []string {
+	var problems []string
+	for _, name := range cur.Order {
+		f := cur.Families[name]
+		if f.Type != "counter" {
+			continue
+		}
+		pf := prev.Family(name)
+		if pf == nil {
+			continue
+		}
+		prevVals := make(map[string]float64, len(pf.Samples))
+		for _, s := range pf.Samples {
+			prevVals[s.Series()] = s.Value
+		}
+		for _, s := range f.Samples {
+			if pv, ok := prevVals[s.Series()]; ok && s.Value < pv {
+				problems = append(problems, fmt.Sprintf("counter %s: went backwards %v -> %v", s.Series(), pv, s.Value))
+			}
+		}
+	}
+	return problems
+}

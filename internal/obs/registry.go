@@ -109,7 +109,11 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot summarizes the distribution. Quantiles are bucket upper bounds,
-// so they are upper estimates with power-of-two resolution.
+// so they are upper estimates with power-of-two resolution, clamped to the
+// maximum actually observed: with few samples the quantile bucket is often
+// the max's own bucket, whose upper bound can exceed every observation
+// (one sample of value 5 lands in the 4..7 bucket and would otherwise
+// report P95 = 8 — an impossible latency no one ever paid).
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count: h.count.Load(),
@@ -127,6 +131,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if i == 0 {
 			bound = 0
 		}
+		if bound > s.Max {
+			bound = s.Max
+		}
 		if !q50 && float64(cum) >= 0.50*float64(s.Count) && s.Count > 0 {
 			s.P50, q50 = bound, true
 		}
@@ -143,6 +150,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// BucketCounts returns the per-bucket observation counts (not cumulative):
+// slot 0 counts v <= 0, slot i counts 2^(i-1) <= v < 2^i. The Prometheus
+// exposition writer turns these into cumulative le-buckets.
+func (h *Histogram) BucketCounts() [histBuckets]int64 {
+	var out [histBuckets]int64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // Registry names and owns a set of metrics. Registration takes a lock;
 // updates through the returned metric objects are lock-free. Metric names
 // use snake_case with a subsystem prefix (see DESIGN.md "Observability"
@@ -153,6 +171,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	histos   map[string]*Histogram
 	funcs    map[string]func() float64
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -162,7 +181,17 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		histos:   make(map[string]*Histogram),
 		funcs:    make(map[string]func() float64),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp attaches a HELP string to a metric name for the Prometheus
+// exposition writer. Metrics without help text get a generic line, so
+// calling this is optional.
+func (r *Registry) SetHelp(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
 }
 
 // Counter returns the counter registered under name, creating it if

@@ -417,7 +417,11 @@ func (a *TraceAnalysis) WriteSummary(w io.Writer) {
 }
 
 // WriteDiff renders per-phase deltas as the traceview "diff" report. Signs
-// follow B minus A: positive deltas mean run B spent more time.
+// follow B minus A: positive deltas mean run B spent more time. Phases
+// present in only one trace are not an error: they diff against zero and
+// the ratio column labels them "added" (B only) or "removed" (A only) —
+// instrumented phases appear and disappear across PRs, and a diff that
+// refuses to compare such runs is useless exactly when it matters.
 func WriteDiff(w io.Writer, a, b *TraceAnalysis, deltas []RollupDelta) {
 	fmt.Fprintf(w, "A: %d spans, wall %v   B: %d spans, wall %v   Δwall %+v\n",
 		a.Spans, time.Duration(a.WallNS).Round(time.Microsecond),
@@ -427,7 +431,12 @@ func WriteDiff(w io.Writer, a, b *TraceAnalysis, deltas []RollupDelta) {
 		"name", "countA", "countB", "totalA", "totalB", "delta", "ratio")
 	for _, d := range deltas {
 		ratio := "-"
-		if d.Ratio > 0 {
+		switch {
+		case d.CountA == 0 && d.CountB > 0:
+			ratio = "added"
+		case d.CountB == 0 && d.CountA > 0:
+			ratio = "removed"
+		case d.Ratio > 0:
 			ratio = fmt.Sprintf("%.2fx", d.Ratio)
 		}
 		fmt.Fprintf(w, "%-24s %8d %8d %12v %12v %+12v %8s\n",

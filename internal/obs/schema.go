@@ -20,10 +20,16 @@ import (
 //	     cause, wait_ns, pause_ns, workers attrs), "bdd.stall" (watchdog
 //	     reports with report, stuck_ns attrs), and "bdd.contention"
 //	     (end-of-run per-subsystem wait summaries).
+//	v3 — adds the quality-of-result vocabulary: "quality.op", the
+//	     operation-ledger record every top-level approximation,
+//	     decomposition, and reach iteration emits (kind, op, op_id,
+//	     input/result DAG sizes, minterm mass before/after and retained,
+//	     densities, threshold, budget limit/live/headroom, attributed
+//	     dur/gc/stw cost, abort cause).
 //
 // Readers accept any version up to their own: v1 files (v absent / 0)
 // remain valid, files from a future writer are rejected.
-const TraceSchemaVersion = 2
+const TraceSchemaVersion = 3
 
 // TraceSummary reports what a validated trace contains.
 type TraceSummary struct {
@@ -100,8 +106,8 @@ func ValidateJSONL(r io.Reader) (TraceSummary, error) {
 }
 
 // validateKnownEvent applies per-name attribute checks to the v2 parallel-
-// engine vocabulary. Unknown names pass — traces may carry domain-specific
-// events the validator has never heard of.
+// engine and v3 quality vocabularies. Unknown names pass — traces may
+// carry domain-specific events the validator has never heard of.
 func validateKnownEvent(ev *Event) error {
 	num := func(key string) (float64, bool) {
 		switch v := ev.Attrs[key].(type) {
@@ -142,6 +148,20 @@ func validateKnownEvent(ev *Event) error {
 		}
 		if v, ok := num("count"); !ok || v < 0 {
 			return fmt.Errorf("bdd.contention event %d has bad count %v", ev.ID, ev.Attrs["count"])
+		}
+	case "quality.op":
+		if str("op_kind") == "" || str("op") == "" {
+			return fmt.Errorf("quality.op event %d lacks op_kind/op attrs", ev.ID)
+		}
+		for _, key := range []string{"size_in", "size_out", "dur_ns"} {
+			if v, ok := num(key); !ok || v < 0 {
+				return fmt.Errorf("quality.op event %d has bad %s %v", ev.ID, key, ev.Attrs[key])
+			}
+		}
+		// Mass retained is a ratio: 1 = lossless, < 1 under-approximation,
+		// > 1 over-approximation. Negative mass is always a bug.
+		if v, ok := num("mass_retained"); !ok || v < 0 {
+			return fmt.Errorf("quality.op event %d has bad mass_retained %v", ev.ID, ev.Attrs["mass_retained"])
 		}
 	}
 	return nil

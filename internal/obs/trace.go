@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,7 +61,7 @@ type Tracer struct {
 	mu     sync.Mutex
 	sink   io.Writer
 	flight *FlightRecorder
-	stack  []uint64 // open span ids, innermost last
+	stack  []openSpan // open spans, innermost last
 	nextID uint64
 	err    error // first sink write error (reported by Err)
 
@@ -122,6 +123,34 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
+// openSpan is one frame of the tracer's open-span stack. Keeping the name
+// alongside the id lets crash paths (flight-recorder dumps on budget
+// aborts) report *where* the program was — the span stack — even though
+// open spans have not emitted their records yet.
+type openSpan struct {
+	id   uint64
+	name string
+}
+
+// StackString returns the open-span stack, outermost first, joined by
+// ">" (e.g. "reach.iteration>reach.image"). Empty when no span is open or
+// the tracer is disabled. Nil-safe.
+func (t *Tracer) StackString() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	for i, f := range t.stack {
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		b.WriteString(f.name)
+	}
+	return b.String()
+}
+
 // Span is an open span. A nil *Span (returned by a disabled tracer) is
 // valid and all its methods are no-ops.
 type Span struct {
@@ -144,12 +173,12 @@ func (t *Tracer) Begin(name string, attrs ...Attr) *Span {
 	t.nextID++
 	s := &Span{t: t, id: t.nextID, name: name, start: time.Now(), attrs: attrs}
 	if n := len(t.stack); n > 0 {
-		s.parent = t.stack[n-1]
+		s.parent = t.stack[n-1].id
 	}
 	if t.LiveNodes != nil {
 		s.nodes0 = t.LiveNodes()
 	}
-	t.stack = append(t.stack, s.id)
+	t.stack = append(t.stack, openSpan{id: s.id, name: name})
 	t.mu.Unlock()
 	return s
 }
@@ -165,7 +194,7 @@ func (s *Span) End(attrs ...Attr) {
 	// Pop this span (and, defensively, anything opened after it that was
 	// never closed — a panic unwound past those Ends).
 	for n := len(t.stack); n > 0; n-- {
-		if t.stack[n-1] == s.id {
+		if t.stack[n-1].id == s.id {
 			t.stack = t.stack[:n-1]
 			break
 		}
@@ -203,7 +232,7 @@ func (t *Tracer) Event(name string, attrs ...Attr) {
 		Attrs: attrMap(attrs),
 	}
 	if n := len(t.stack); n > 0 {
-		ev.Parent = t.stack[n-1]
+		ev.Parent = t.stack[n-1].id
 	}
 	t.emitLocked(&ev)
 	t.mu.Unlock()

@@ -67,9 +67,11 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 	// report the states found so far.
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(bdd.OpAborted); !ok {
+			ab, ok := r.(bdd.OpAborted)
+			if !ok {
 				panic(r)
 			}
+			abortRecord(tr, "bfs", iters, ab.Reason)
 			captureCacheStats(m, &st)
 			res = Result{
 				Reached:    reached,
@@ -85,10 +87,12 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 	for {
 		iters++
 		isp := tr.beginIteration(t, "bfs", iters, frontier)
+		ilg := tr.beginIterLedger("bfs", iters, 0, frontier)
 		img := tr.Image(frontier, nil, &st)
 		m.Deref(frontier)
 		if st.Aborted {
 			m.Deref(img)
+			ilg.record(bdd.Zero, bdd.Zero, "image-deadline")
 			isp.End(obs.Bool("aborted", true))
 			break
 		}
@@ -97,6 +101,7 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 		if fresh == bdd.Zero {
 			m.Deref(fresh)
 			completed = true
+			ilg.record(bdd.Zero, bdd.Zero, "")
 			isp.End(obs.Int("fresh_nodes", 0), obs.Bool("fixpoint", true))
 			break
 		}
@@ -104,6 +109,7 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 		m.Deref(reached)
 		reached = nr
 		frontier = fresh
+		ilg.record(fresh, frontier, "")
 		tr.endIteration(isp, fresh, reached)
 		if opts.Profile {
 			tr.profileEvent(t, iters, fresh, reached)
@@ -210,9 +216,11 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 	completed := false
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(bdd.OpAborted); !ok {
+			ab, ok := r.(bdd.OpAborted)
+			if !ok {
 				panic(r)
 			}
+			abortRecord(tr, "hd", iters, ab.Reason)
 			captureCacheStats(m, &st)
 			res = Result{
 				Reached:    reached,
@@ -229,10 +237,12 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 	for {
 		iters++
 		isp := tr.beginIteration(t, "hd", iters, frontier)
+		ilg := tr.beginIterLedger("hd", iters, opts.Threshold, frontier)
 		img := tr.Image(frontier, opts.PImg, &st)
 		m.Deref(frontier)
 		if st.Aborted {
 			m.Deref(img)
+			ilg.record(bdd.Zero, bdd.Zero, "image-deadline")
 			isp.End(obs.Bool("aborted", true))
 			break
 		}
@@ -254,6 +264,7 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 			if st.Aborted {
 				m.Deref(img)
 				st.ClosureTime += time.Since(cstart)
+				ilg.record(bdd.Zero, bdd.Zero, "closure-deadline")
 				csp.End(obs.Bool("aborted", true))
 				isp.End(obs.Bool("aborted", true))
 				break
@@ -266,6 +277,7 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 			if closed {
 				m.Deref(fresh)
 				completed = true
+				ilg.record(bdd.Zero, bdd.Zero, "")
 				isp.End(obs.Int("fresh_nodes", 0), obs.Bool("fixpoint", true))
 				break
 			}
@@ -282,6 +294,7 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 				obs.Int("threshold", opts.Threshold),
 				obs.Int("frontier_after", m.DagSize(frontier)))
 		}
+		ilg.record(fresh, frontier, "")
 		tr.endIteration(isp, fresh, reached)
 		if opts.Profile {
 			tr.profileEvent(t, iters, fresh, reached)

@@ -5,15 +5,16 @@ WORKERS ?= 1
 OBS_PAR_ADDR ?= 127.0.0.1:6171
 OBS_QUALITY_ADDR ?= 127.0.0.1:6172
 
-.PHONY: check test vet build race fuzz-smoke bench bench-save bench-cmp obs-smoke obs-par-smoke obs-quality-smoke profile-smoke
+.PHONY: check test vet build race fuzz-smoke gauntlet-smoke bench bench-save bench-cmp obs-smoke obs-par-smoke obs-quality-smoke profile-smoke
 
 ## check: vet, build, test everything, race-test the BDD core and the
-## oracle stress driver, smoke the fuzz targets, then smoke the
-## observability layer end to end (trace schema + required spans,
-## structural profiler, parallel telemetry + Amdahl breakdown, quality
-## ledger + Prometheus exposition, benchmark trajectory and scaling curve
-## in advisory mode).
-check: vet build test race fuzz-smoke obs-smoke obs-par-smoke obs-quality-smoke profile-smoke
+## oracle stress driver, smoke the fuzz targets and the generator
+## gauntlet (counts checked against independent ground truths), then
+## smoke the observability layer end to end (trace schema + required
+## spans, structural profiler, parallel telemetry + Amdahl breakdown,
+## quality ledger + Prometheus exposition, benchmark trajectory and
+## scaling curve in advisory mode).
+check: vet build test race fuzz-smoke gauntlet-smoke obs-smoke obs-par-smoke obs-quality-smoke profile-smoke
 	$(GO) run ./cmd/tables -bench-cmp $(BENCH_HISTORY) -bench-advisory
 	$(GO) run ./cmd/tables -speedup $(BENCH_HISTORY) -bench-advisory
 
@@ -34,7 +35,7 @@ test:
 ## (several clients hammering one Workers=4 manager while GC and
 ## reordering fire), and the parallel image path in reach.
 race:
-	$(GO) test -race -count=1 ./internal/bdd ./internal/oracle
+	$(GO) test -race -count=1 ./internal/bdd ./internal/oracle ./internal/count
 	$(GO) test -race -count=1 -run Parallel ./internal/reach
 
 ## fuzz-smoke: run each native fuzz target briefly ($(FUZZTIME) apiece) on
@@ -45,6 +46,26 @@ fuzz-smoke:
 	$(GO) test ./internal/oracle -run '^$$' -fuzz 'FuzzLoad$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle -run '^$$' -fuzz 'FuzzNetlistParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle -run '^$$' -fuzz 'FuzzITESequence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle -run '^$$' -fuzz 'FuzzGauntletParams$$' -fuzztime $(FUZZTIME)
+
+## gauntlet-smoke: build every small gauntlet instance with bddcount and
+## verify each exact count against its independent ground truth (published
+## N-Queens sequence, brute-force Life simulation, DFS cycle enumeration,
+## closed-form adder-miter arithmetic), then exercise the sampling and
+## weighted paths once each.
+gauntlet-smoke:
+	$(GO) build -o /tmp/bddkit-bddcount ./cmd/bddcount
+	/tmp/bddkit-bddcount -family queens -n 6 -check >/dev/null
+	/tmp/bddkit-bddcount -family queens -n 7 -check -workers 4 >/dev/null
+	/tmp/bddkit-bddcount -family life -rows 3 -cols 3 -check >/dev/null
+	/tmp/bddkit-bddcount -family hamilton-grid -rows 2 -cols 3 -check >/dev/null
+	/tmp/bddkit-bddcount -family hamilton-knight -rows 3 -cols 3 -check >/dev/null
+	/tmp/bddkit-bddcount -family equiv-adder -n 8 -check >/dev/null
+	/tmp/bddkit-bddcount -family equiv-adder -n 8 -fault -check >/dev/null
+	/tmp/bddkit-bddcount -family queens -n 5 -mode sample -samples 20 -seed 7 -check >/dev/null
+	/tmp/bddkit-bddcount -family life -rows 3 -cols 3 -mode weighted -bias 0.25 >/dev/null
+	$(GO) run ./cmd/tables -table gauntlet >/dev/null
+	@echo "gauntlet-smoke OK"
 
 ## bench: run the memory-subsystem benchmarks plus the two paper-level
 ## benchmarks the cache overhaul is measured by; raw output lands in

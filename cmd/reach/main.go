@@ -111,6 +111,9 @@ func run() int {
 	}
 	fmt.Printf("%s: %s\n", *method, status)
 	fmt.Printf("  states      %.6g\n", res.States)
+	if res.StatesExact != nil {
+		fmt.Printf("  exact       %s states\n", res.StatesExact)
+	}
 	fmt.Printf("  |reached|   %d nodes\n", res.Nodes)
 	fmt.Printf("  iterations  %d (+%d closure checks)\n", res.Iterations, res.Closure)
 	fmt.Printf("  images      %d (%d AndExists, %d partial-image cuts)\n",

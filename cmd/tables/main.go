@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: 1, 2, 3, 4, ablation, or all")
+	table := flag.String("table", "all", "table to regenerate: 1, 2, 3, 4, ablation, gauntlet, or all")
 	paper := flag.Bool("paper", false, "use the paper-scale corpus and circuits (slower)")
 	budget := flag.Duration("budget", 2*time.Minute, "per-traversal budget for Table 1")
 	jsonOut := flag.String("json", "", "also write Table 1 rows with per-phase breakdowns as JSON to this `file` (\"-\" = stdout)")
@@ -61,7 +61,7 @@ func main() {
 	}
 
 	switch *table {
-	case "1", "2", "3", "4", "ablation", "all":
+	case "1", "2", "3", "4", "ablation", "gauntlet", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
@@ -75,7 +75,7 @@ func main() {
 	defer sess.DumpOnPanic()
 
 	var fns []bench.Fn
-	needCorpus := *table != "1"
+	needCorpus := *table != "1" && *table != "gauntlet"
 	if needCorpus {
 		cfg := bench.SmallCorpus()
 		if *paper {
@@ -132,6 +132,34 @@ func main() {
 				w = f
 			}
 			if err := bench.WriteTable1JSON(w, rows); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *table == "gauntlet" || *table == "all" {
+		gcfg := bench.DefaultGauntletConfig()
+		gcfg.Observe = sess.ObserveManager
+		rows, err := bench.RunGauntlet(gcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("Gauntlet: generator families, exact counts, and subset mass retention.")
+		bench.PrintGauntlet(os.Stdout, rows)
+		fmt.Println()
+		if *jsonOut != "" && *table == "gauntlet" {
+			w := os.Stdout
+			if *jsonOut != "-" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := bench.WriteGauntletJSON(w, rows); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

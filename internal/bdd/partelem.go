@@ -130,8 +130,12 @@ func (h *waitHist) addTo(buckets *[waitHistBuckets]int64, ws *WaitStats) {
 	}
 }
 
-// quantile returns the upper bound of the bucket holding the q-quantile.
-func histQuantile(buckets *[waitHistBuckets]int64, count int64, q float64) int64 {
+// quantile returns the upper bound of the bucket holding the q-quantile,
+// clamped to the maximum actually observed: the bucket bound is a
+// power-of-two upper estimate, so with few samples it can exceed every
+// observation (a single 100ns wait lands in the 64..128 bucket and would
+// otherwise report P50 = P95 = 128ns — a latency no one ever paid).
+func histQuantile(buckets *[waitHistBuckets]int64, count, max int64, q float64) int64 {
 	if count == 0 {
 		return 0
 	}
@@ -146,10 +150,16 @@ func histQuantile(buckets *[waitHistBuckets]int64, count int64, q float64) int64
 			if i == 0 {
 				return 0
 			}
-			return 1 << uint(i) // bucket i holds (2^(i-1), 2^i]
+			bound := int64(1) << uint(i) // bucket i holds (2^(i-1), 2^i]
+			if i == waitHistBuckets-1 || bound > max {
+				// The final bucket absorbs everything beyond its nominal
+				// range, so the observed max is its only honest bound.
+				bound = max
+			}
+			return bound
 		}
 	}
-	return 1 << (waitHistBuckets - 1)
+	return max // last bucket absorbs everything beyond 2^(waitHistBuckets-1)
 }
 
 // WaitStats is the merged snapshot of one wait histogram across workers.
@@ -371,9 +381,9 @@ func (m *Manager) ParTelemetry() ParTelemetry {
 		t.WorkerStats = append(t.WorkerStats, ws)
 	}
 	fill := func(ws *WaitStats, buckets *[waitHistBuckets]int64) {
-		ws.P50NS = histQuantile(buckets, ws.Count, 0.50)
-		ws.P95NS = histQuantile(buckets, ws.Count, 0.95)
-		ws.P99NS = histQuantile(buckets, ws.Count, 0.99)
+		ws.P50NS = histQuantile(buckets, ws.Count, ws.MaxNS, 0.50)
+		ws.P95NS = histQuantile(buckets, ws.Count, ws.MaxNS, 0.95)
+		ws.P99NS = histQuantile(buckets, ws.Count, ws.MaxNS, 0.99)
 	}
 	fill(&t.UniqueWait, &unique)
 	fill(&t.CacheWait, &cache)

@@ -97,16 +97,44 @@ func TestWaitHistQuantiles(t *testing.T) {
 	if ws.MaxNS != 1<<20 {
 		t.Fatalf("MaxNS = %d, want %d", ws.MaxNS, 1<<20)
 	}
-	p50 := histQuantile(&buckets, ws.Count, 0.50)
+	p50 := histQuantile(&buckets, ws.Count, ws.MaxNS, 0.50)
 	if p50 < 100 || p50 > 256 {
 		t.Fatalf("P50 = %d, want bucket bound covering 100ns", p50)
 	}
-	p99 := histQuantile(&buckets, ws.Count, 0.99)
+	p99 := histQuantile(&buckets, ws.Count, ws.MaxNS, 0.99)
 	if p99 > 1<<21 {
 		t.Fatalf("P99 = %d, unexpectedly above the outlier bucket", p99)
 	}
 	if ws.MeanNS() <= 0 {
 		t.Fatalf("MeanNS() = %d, want positive", ws.MeanNS())
+	}
+}
+
+// TestWaitHistSingleObservation is the regression test for the
+// single-sample quantile edge case: one observation of 100ns used to
+// report P50 = P95 = 128 (the raw bucket bound) instead of the value
+// actually observed.
+func TestWaitHistSingleObservation(t *testing.T) {
+	var h waitHist
+	h.observe(100)
+	var buckets [waitHistBuckets]int64
+	var ws WaitStats
+	h.addTo(&buckets, &ws)
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		if got := histQuantile(&buckets, ws.Count, ws.MaxNS, q); got != 100 {
+			t.Fatalf("quantile(%.2f) of single 100ns observation = %d, want 100", q, got)
+		}
+	}
+	// An observation beyond the last bucket's range must still report
+	// itself, not the (smaller) final bucket bound.
+	var h2 waitHist
+	big := int64(1) << 40 // waitHistBuckets = 32, so 2^40 overflows the table
+	h2.observe(big)
+	var b2 [waitHistBuckets]int64
+	var ws2 WaitStats
+	h2.addTo(&b2, &ws2)
+	if got := histQuantile(&b2, ws2.Count, ws2.MaxNS, 0.50); got != big {
+		t.Fatalf("quantile(0.50) of single 2^40 observation = %d, want %d", got, big)
 	}
 }
 

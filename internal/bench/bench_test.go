@@ -2,6 +2,7 @@ package bench
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -40,10 +41,20 @@ func TestSmallCorpusBuilds(t *testing.T) {
 	if len(fns) == 0 {
 		t.Fatal("small corpus is empty")
 	}
+	gauntletFns := 0
 	for _, fn := range fns {
+		if strings.HasPrefix(fn.Name, "gauntlet/") {
+			// Family fixtures join unconditionally; the size filter only
+			// prunes the random pool.
+			gauntletFns++
+			continue
+		}
 		if fn.Nodes < SmallCorpus().MinNodes {
 			t.Fatalf("%s below threshold: %d", fn.Name, fn.Nodes)
 		}
+	}
+	if want := len(SmallCorpus().Gauntlet); gauntletFns != want {
+		t.Fatalf("corpus kept %d gauntlet fixtures, want %d", gauntletFns, want)
 	}
 	Release(fns)
 }

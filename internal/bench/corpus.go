@@ -6,6 +6,7 @@ import (
 	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
 	"bddkit/internal/model"
+	"bddkit/internal/model/gauntlet"
 )
 
 // Fn is one corpus function: a BDD together with the manager that owns it.
@@ -33,6 +34,12 @@ type CorpusConfig struct {
 	RandGates   int   // gates per random cone
 	WithModels  bool  // include sequential model next-state functions
 	MaxPerGroup int   // cap functions kept per source (0 = all)
+
+	// Gauntlet instances join the corpus unconditionally (the MinNodes
+	// filter prunes the random pool, not the per-family fixtures — each
+	// gauntlet function carries an independent exact solution count that
+	// Tables 2–4 and the approximation-loss ledger are scored against).
+	Gauntlet []gauntlet.Params
 }
 
 // SmallCorpus is sized for unit tests and the testing.B benchmarks.
@@ -44,6 +51,10 @@ func SmallCorpus() CorpusConfig {
 		RandCones:  6,
 		RandInputs: 24,
 		RandGates:  80,
+		Gauntlet: []gauntlet.Params{
+			{Family: gauntlet.FamilyQueens, N: 6},
+			{Family: gauntlet.FamilyEquivAdder, N: 8, Fault: true},
+		},
 	}
 }
 
@@ -60,6 +71,12 @@ func PaperCorpus() CorpusConfig {
 		RandInputs: 36,
 		RandGates:  150,
 		WithModels: true,
+		Gauntlet: []gauntlet.Params{
+			{Family: gauntlet.FamilyQueens, N: 8},
+			{Family: gauntlet.FamilyLife, Rows: 4, Cols: 4},
+			{Family: gauntlet.FamilyHamiltonGrid, Rows: 3, Cols: 4},
+			{Family: gauntlet.FamilyEquivAdder, N: 16, Fault: true},
+		},
 	}
 }
 
@@ -137,6 +154,13 @@ func Build(cfg CorpusConfig) ([]Fn, error) {
 		if err := fromNetlist(nl, false); err != nil {
 			return nil, err
 		}
+	}
+	for _, p := range cfg.Gauntlet {
+		m, f, err := gauntlet.New(p)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, Fn{Name: "gauntlet/" + p.Name(), M: m, F: f, Nodes: m.DagSize(f)})
 	}
 	if cfg.WithModels {
 		for _, nl := range []*circuit.Netlist{

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunGauntlet: the per-family report must reproduce every closed-form
+// count and report sane exact mass ratios for the subset operators.
+func TestRunGauntlet(t *testing.T) {
+	rows, err := RunGauntlet(DefaultGauntletConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"queens6":            "4",
+		"life3x3":            "1",
+		"hamilton-grid2x3":   "2",
+		"hamilton-knight3x3": "0",
+		"equiv-adder8":       "0",
+		"equiv-adder8f":      "30720",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("report has %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Errorf("unexpected row %q", r.Name)
+			continue
+		}
+		if r.Count != w {
+			t.Errorf("%s: count %s, want %s", r.Name, r.Count, w)
+		}
+		if r.MassRUA < 0 || r.MassRUA > 1 || r.MassSP < 0 || r.MassSP > 1 {
+			t.Errorf("%s: mass ratios out of [0,1]: rua %v sp %v", r.Name, r.MassRUA, r.MassSP)
+		}
+		if r.RUANodes > r.Nodes || r.SPNodes > r.Nodes {
+			t.Errorf("%s: an under-approximation grew the DAG (%d/%d vs %d)", r.Name, r.RUANodes, r.SPNodes, r.Nodes)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteGauntletJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"table": "gauntlet"`) {
+		t.Fatalf("JSON report missing table tag:\n%s", buf.String())
+	}
+	var txt bytes.Buffer
+	PrintGauntlet(&txt, rows)
+	if !strings.Contains(txt.String(), "queens6") {
+		t.Fatal("text report missing instances")
+	}
+}

@@ -4,13 +4,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/big"
 	"time"
 
 	"bddkit/internal/approx"
 	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
+	"bddkit/internal/count"
 	"bddkit/internal/decomp"
 	"bddkit/internal/model"
+	"bddkit/internal/model/gauntlet"
 	"bddkit/internal/obs"
 	"bddkit/internal/reach"
 )
@@ -331,6 +334,14 @@ func Table1Small() Table1Config {
 			SPThreshold: 100,
 			Budget:      30 * time.Second,
 		},
+		{
+			// Latch-free: exercises the zero-iteration combinational row.
+			Name:         "equiv-adder8f",
+			Netlist:      gauntlet.MiterNetlist(8, true),
+			RUAThreshold: 0, RUAQuality: 1.0,
+			SPThreshold: 20,
+			Budget:      30 * time.Second,
+		},
 	}}
 }
 
@@ -373,6 +384,13 @@ func Table1Paper(budget time.Duration) Table1Config {
 			SPThreshold: 2000, SPPImg: pimgSP,
 			Budget: budget,
 		},
+		{
+			Name:         "equiv-adder16f",
+			Netlist:      gauntlet.MiterNetlist(16, true),
+			RUAThreshold: 0, RUAQuality: 1.0,
+			SPThreshold: 200,
+			Budget:      budget,
+		},
 	}}
 }
 
@@ -382,6 +400,18 @@ func Table1Paper(budget time.Duration) Table1Config {
 func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, ckt := range cfg.Circuits {
+		if len(ckt.Netlist.Latches) == 0 {
+			// Latch-free circuit: there is no transition relation to
+			// traverse (NewTR would refuse it), but the row must still be
+			// emitted — with zero iterations — rather than silently
+			// dropped from -json output.
+			row, err := runTable1Combinational(cfg, ckt)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			continue
+		}
 		row := Table1Row{Ckt: ckt.Name, FF: len(ckt.Netlist.Latches)}
 		row.RUATh = ckt.RUAThreshold
 		row.RUAQual = ckt.RUAQuality
@@ -493,6 +523,81 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// runTable1Combinational fills the row for a latch-free circuit. The
+// methods degenerate to one image-less step each: the "BFS" column is the
+// exact minterm count of the disjunction of the outputs (for a miter
+// netlist, the number of distinguishing inputs), and the RUA/SP columns
+// apply the corresponding subset operator to that function at the
+// circuit's thresholds — filing quality-ledger records exactly as a
+// traversal's subset phase would — and report the subset's count. Every
+// method completes with Iterations 0.
+func runTable1Combinational(cfg Table1Config, ckt Table1Circuit) (Table1Row, error) {
+	row := Table1Row{
+		Ckt: ckt.Name, FF: 0,
+		RUATh: ckt.RUAThreshold, RUAQual: ckt.RUAQuality, RUAPImg: pimgLabel(ckt.RUAPImg),
+		SPTh: ckt.SPThreshold, SPPImg: pimgLabel(ckt.SPPImg),
+	}
+	run := func(subset func(m *bdd.Manager, f bdd.Ref) bdd.Ref) (MethodResult, error) {
+		start := time.Now()
+		c, err := circuit.Compile(ckt.Netlist, circuit.CompileOptions{SkipNextVars: true, AutoReorder: true})
+		if err != nil {
+			return MethodResult{}, err
+		}
+		defer c.Release()
+		if cfg.Observe != nil {
+			cfg.Observe(c.M)
+		}
+		before := obs.L.Snapshot()
+		f := c.M.Ref(bdd.Zero)
+		for _, o := range c.Outputs {
+			g := c.M.Or(f, o)
+			c.M.Deref(f)
+			f = g
+		}
+		sub := f
+		if subset != nil {
+			sub = subset(c.M, f)
+		}
+		cnt, err := count.Minterms(c.M, sub, c.M.NumVars())
+		if err != nil {
+			return MethodResult{}, err
+		}
+		states, _ := new(big.Float).SetInt(cnt).Float64()
+		mr := MethodResult{
+			Time:       time.Since(start),
+			Done:       true,
+			States:     states,
+			Nodes:      c.M.DagSize(sub),
+			PeakNodes:  c.M.NodeCount(),
+			Iterations: 0,
+		}
+		if ops, aborts, mean, min := qualityDelta(before, obs.L.Snapshot()); ops > 0 {
+			mr.QualityOps, mr.QualityAborts, mr.MassMean, mr.MassMin = ops, aborts, mean, min
+		}
+		if sub != f {
+			c.M.Deref(sub)
+		}
+		c.M.Deref(f)
+		return mr, nil
+	}
+	var err error
+	if row.BFS, err = run(nil); err != nil {
+		return row, err
+	}
+	row.States = row.BFS.States
+	if row.RUA, err = run(func(m *bdd.Manager, f bdd.Ref) bdd.Ref {
+		return approx.RemapUnderApprox(m, f, ckt.RUAThreshold, ckt.RUAQuality)
+	}); err != nil {
+		return row, err
+	}
+	if row.SP, err = run(func(m *bdd.Manager, f bdd.Ref) bdd.Ref {
+		return approx.ShortPaths(m, f, ckt.SPThreshold)
+	}); err != nil {
+		return row, err
+	}
+	return row, nil
 }
 
 func pimgLabel(p *reach.PImg) string {

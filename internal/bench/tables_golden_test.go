@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bddkit/internal/model/gauntlet"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTable1CombinationalGolden pins the -json shape of a latch-free
+// Table 1 row: the row must be emitted (not dropped) with "iterations": 0
+// in every method, exact distinguishing-input counts in the states
+// columns, and stable keys. Wall-clock fields are normalized; everything
+// else in the row is deterministic.
+func TestTable1CombinationalGolden(t *testing.T) {
+	cfg := Table1Config{Circuits: []Table1Circuit{{
+		Name:         "equiv-adder8f",
+		Netlist:      gauntlet.MiterNetlist(8, true),
+		RUAThreshold: 0, RUAQuality: 1.0,
+		SPThreshold: 20,
+		Budget:      30 * time.Second,
+	}}}
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("combinational circuit produced %d rows, want 1", len(rows))
+	}
+	for i := range rows {
+		for _, mr := range []*MethodResult{&rows[i].BFS, &rows[i].RUA, &rows[i].SP} {
+			mr.Time = 0
+			mr.PeakNodes = 0
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1JSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"iterations": 0`)) {
+		t.Fatalf("serialized row lacks an explicit zero iterations field:\n%s", buf.Bytes())
+	}
+	golden := filepath.Join("testdata", "table1_combinational.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("golden mismatch (run with -update to regenerate)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,81 @@
+package model
+
+import (
+	"testing"
+
+	"bddkit/internal/circuit"
+)
+
+// TestFamilyCompiledShape pins the compiled shape of every benchmark
+// family at its small configuration: interface widths, manager variable
+// counts, the support of the compiled functions, and the shared live-node
+// total of Compiled.LiveRoots. These are exact values, not ranges — the
+// generators are deterministic, so any drift here means a generator or
+// the compiler changed behaviour and Tables 1–4 are no longer comparable
+// against recorded runs.
+func TestFamilyCompiledShape(t *testing.T) {
+	cases := []struct {
+		name    string
+		nl      *circuit.Netlist
+		inputs  int
+		latches int
+		outputs int
+		vars    int // manager variables (x,y interleaved + inputs)
+		support int // distinct vars in the support of outputs ∪ next
+		live    int // SharingSize(LiveRoots) after GC
+	}{
+		{"am2910", Am2910(Am2910Small()), 9, 22, 4, 53, 31, 1114},
+		{"s1269", S1269(S1269Small()), 7, 16, 7, 39, 23, 202},
+		{"s3330", S3330(S3330Small()), 5, 21, 5, 47, 26, 306},
+		{"s5378", S5378(S5378Small()), 3, 7, 5, 17, 10, 70},
+		{"comb", MultiplierNetlist(5), 10, 0, 10, 10, 10, 419},
+		{"randlogic", RandomLogicNetlist(RandomLogicConfig{Inputs: 12, Gates: 60, Seed: 3}), 12, 0, 4, 12, 5, 25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(tc.nl.Inputs); got != tc.inputs {
+				t.Errorf("inputs = %d, want %d", got, tc.inputs)
+			}
+			if got := len(tc.nl.Latches); got != tc.latches {
+				t.Errorf("latches = %d, want %d", got, tc.latches)
+			}
+			if got := len(tc.nl.Outputs); got != tc.outputs {
+				t.Errorf("outputs = %d, want %d", got, tc.outputs)
+			}
+			c, err := circuit.Compile(tc.nl, circuit.CompileOptions{
+				SkipNextVars: len(tc.nl.Latches) == 0,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Release()
+			if got := c.M.NumVars(); got != tc.vars {
+				t.Errorf("manager vars = %d, want %d", got, tc.vars)
+			}
+			supp := map[int]bool{}
+			for _, o := range c.Outputs {
+				for _, v := range c.M.SupportVars(o) {
+					supp[v] = true
+				}
+			}
+			for _, nx := range c.Next {
+				for _, v := range c.M.SupportVars(nx) {
+					supp[v] = true
+				}
+			}
+			if got := len(supp); got != tc.support {
+				t.Errorf("support = %d vars, want %d", got, tc.support)
+			}
+			c.M.GarbageCollect()
+			live := c.M.SharingSize(c.LiveRoots())
+			if live != tc.live {
+				t.Errorf("SharingSize(LiveRoots) = %d, want %d", live, tc.live)
+			}
+			// After GC the compile intermediates are gone, so the union of
+			// the live-root DAGs must be exactly the manager's node set.
+			if nc := c.M.NodeCount(); live != nc {
+				t.Errorf("LiveRoots covers %d nodes but manager holds %d", live, nc)
+			}
+		})
+	}
+}

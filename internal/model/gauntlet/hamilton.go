@@ -1,0 +1,135 @@
+package gauntlet
+
+import (
+	"fmt"
+
+	"bddkit/internal/bdd"
+)
+
+// Graph is a small undirected graph, the substrate for the Hamiltonian
+// cycle family.
+type Graph struct {
+	Name string
+	V    int
+	Adj  [][]int // adjacency lists, symmetric
+}
+
+// GridGraph returns the rows x cols king-less grid graph (4-neighbor).
+func GridGraph(rows, cols int) Graph {
+	g := Graph{Name: fmt.Sprintf("grid%dx%d", rows, cols), V: rows * cols, Adj: make([][]int, rows*cols)}
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for _, d := range [][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}} {
+				rr, cc := r+d[0], c+d[1]
+				if rr >= 0 && rr < rows && cc >= 0 && cc < cols {
+					g.Adj[id(r, c)] = append(g.Adj[id(r, c)], id(rr, cc))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// KnightGraph returns the rows x cols knight's-move graph (the closed
+// knight's tour substrate; boards below 5x6 admit no closed tour, a
+// classic zero ground truth).
+func KnightGraph(rows, cols int) Graph {
+	g := Graph{Name: fmt.Sprintf("knight%dx%d", rows, cols), V: rows * cols, Adj: make([][]int, rows*cols)}
+	id := func(r, c int) int { return r*cols + c }
+	moves := [][2]int{{1, 2}, {2, 1}, {-1, 2}, {-2, 1}, {1, -2}, {2, -1}, {-1, -2}, {-2, -1}}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for _, d := range moves {
+				rr, cc := r+d[0], c+d[1]
+				if rr >= 0 && rr < rows && cc >= 0 && cc < cols {
+					g.Adj[id(r, c)] = append(g.Adj[id(r, c)], id(rr, cc))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// CountHamiltonianCycles enumerates directed Hamiltonian cycles anchored
+// at vertex 0 by explicit DFS over vertex permutations — the independent
+// ground truth for the BDD construction (each undirected cycle on ≥3
+// vertices is counted twice, once per direction). Exponential; only for
+// the small boards Validate admits.
+func (g Graph) CountHamiltonianCycles() int64 {
+	if g.V == 0 {
+		return 0
+	}
+	adj := make([][]bool, g.V)
+	for v := range adj {
+		adj[v] = make([]bool, g.V)
+		for _, u := range g.Adj[v] {
+			adj[v][u] = true
+		}
+	}
+	used := make([]bool, g.V)
+	used[0] = true
+	var count int64
+	var dfs func(v, depth int)
+	dfs = func(v, depth int) {
+		if depth == g.V {
+			if adj[v][0] {
+				count++
+			}
+			return
+		}
+		for u := 0; u < g.V; u++ {
+			if !used[u] && adj[v][u] {
+				used[u] = true
+				dfs(u, depth+1)
+				used[u] = false
+			}
+		}
+	}
+	dfs(0, 1)
+	return count
+}
+
+// hamiltonian builds the directed-Hamiltonian-cycle predicate over V*V
+// time-slot variables: x[t][v] (variable t*V+v) means "the cycle visits
+// vertex v at step t". Constraints: vertex 0 is visited at step 0 (anchor,
+// killing rotational symmetry), every step visits exactly one vertex,
+// every vertex is visited at exactly one step, and consecutive steps
+// (wrapping V-1 -> 0) move along an edge. The minterm count is the number
+// of directed Hamiltonian cycles through vertex 0, i.e. twice the
+// undirected count for V >= 3.
+func hamiltonian(m *bdd.Manager, g Graph) bdd.Ref {
+	V := g.V
+	x := func(t, v int) bdd.Ref { return m.IthVar(t*V + v) }
+
+	f := m.Ref(m.IthVar(0)) // x[0][0]: the cycle starts at vertex 0
+	slot := make([]bdd.Ref, V)
+	for t := 0; t < V; t++ {
+		for v := 0; v < V; v++ {
+			slot[v] = x(t, v)
+		}
+		f = conj(m, f, exactlyOne(m, slot))
+	}
+	for v := 0; v < V; v++ {
+		for t := 0; t < V; t++ {
+			slot[t] = x(t, v)
+		}
+		f = conj(m, f, exactlyOne(m, slot))
+	}
+	// Moves follow edges: x[t][u] -> OR of x[t+1][v] over v adjacent to u.
+	for t := 0; t < V; t++ {
+		next := (t + 1) % V
+		for u := 0; u < V; u++ {
+			succ := m.Ref(bdd.Zero)
+			for _, v := range g.Adj[u] {
+				s2 := m.Or(succ, x(next, v))
+				m.Deref(succ)
+				succ = s2
+			}
+			imp := m.ITE(x(t, u), succ, bdd.One)
+			m.Deref(succ)
+			f = conj(m, f, imp)
+		}
+	}
+	return f
+}

@@ -1,0 +1,89 @@
+package gauntlet
+
+import "bddkit/internal/bdd"
+
+// DefaultLifeTarget returns the pattern lifePredecessor steps to when
+// Params.Target is nil: a horizontal blinker segment through the board's
+// center (clipped to the board), the smallest still-interesting
+// oscillator. On a 3x3 board this is the three middle cells of the
+// center row.
+func DefaultLifeTarget(rows, cols int) []bool {
+	t := make([]bool, rows*cols)
+	r := rows / 2
+	c0 := cols/2 - 1
+	for dc := 0; dc < 3; dc++ {
+		if c := c0 + dc; c >= 0 && c < cols {
+			t[r*cols+c] = true
+		}
+	}
+	return t
+}
+
+// LifeStep advances a rows x cols Game of Life board one generation with
+// a dead boundary (cells outside the board are permanently dead) — the
+// explicit-simulation oracle the BDD construction below is cross-checked
+// against.
+func LifeStep(rows, cols int, board []bool) []bool {
+	next := make([]bool, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			sum := 0
+			for dr := -1; dr <= 1; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					if dr == 0 && dc == 0 {
+						continue
+					}
+					rr, cc := r+dr, c+dc
+					if rr >= 0 && rr < rows && cc >= 0 && cc < cols && board[rr*cols+cc] {
+						sum++
+					}
+				}
+			}
+			alive := board[r*cols+c]
+			next[r*cols+c] = sum == 3 || (alive && sum == 2)
+		}
+	}
+	return next
+}
+
+// lifePredecessor builds, over rows*cols variables encoding a pre-state
+// board (cell (r,c) is variable r*cols+c), the predicate "this board
+// steps to target in one Game of Life generation" under a dead boundary.
+// Its minterm count is the number of predecessors of target; zero means
+// target is a garden of Eden on this board.
+func lifePredecessor(m *bdd.Manager, rows, cols int, target []bool) bdd.Ref {
+	cell := func(r, c int) bdd.Ref { return m.IthVar(r*cols + c) }
+	f := m.Ref(bdd.One)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			var nbrs []bdd.Ref
+			for dr := -1; dr <= 1; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					if dr == 0 && dc == 0 {
+						continue
+					}
+					rr, cc := r+dr, c+dc
+					if rr >= 0 && rr < rows && cc >= 0 && cc < cols {
+						nbrs = append(nbrs, cell(rr, cc))
+					}
+				}
+			}
+			// exactly-2 / exactly-3 neighbor counts via the symmetric DP;
+			// the cap-4 overflow slot keeps them exact.
+			cnt := exactCounts(m, nbrs, 4)
+			alive := m.And(cell(r, c), cnt[2])
+			next := m.Or(cnt[3], alive) // B3/S23: born on 3, survives on 2 or 3
+			m.Deref(alive)
+			for _, x := range cnt {
+				m.Deref(x)
+			}
+			if !target[r*cols+c] {
+				notNext := m.Not(next)
+				m.Deref(next)
+				next = notNext
+			}
+			f = conj(m, f, next)
+		}
+	}
+	return f
+}

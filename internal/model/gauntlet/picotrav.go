@@ -1,0 +1,237 @@
+package gauntlet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bddkit/internal/bdd"
+	"bddkit/internal/circuit"
+)
+
+// Picotrav-style netlist equivalence: two structurally different
+// implementations of the same n-bit adder — a ripple-carry chain and an
+// expanded carry-lookahead — checked against each other through a miter.
+// With Fault set, the lookahead's middle carry signal is stuck at 0, and
+// the miter's minterm count is the exact number of distinguishing input
+// pairs (the carry into that bit being 1), another closed-form ground
+// truth.
+
+// rippleInto emits the n-bit ripple-carry adder over the given input
+// buses, returning the sum bits and carry-out.
+func rippleInto(b *circuit.Builder, a, bb []circuit.Sig) ([]circuit.Sig, circuit.Sig) {
+	n := len(a)
+	c := b.Const(false)
+	sums := make([]circuit.Sig, n)
+	for i := 0; i < n; i++ {
+		p := b.Xor(a[i], bb[i])
+		sums[i] = b.Xor(p, c)
+		c = b.Or(b.And(a[i], bb[i]), b.And(p, c))
+	}
+	return sums, c
+}
+
+// RippleAdderNetlist builds the n-bit ripple-carry adder: inputs a0..,
+// b0.., outputs s0..s{n-1} and cout.
+func RippleAdderNetlist(n int) *circuit.Netlist {
+	b := circuit.NewBuilder(fmt.Sprintf("radd%d", n))
+	sums, c := rippleInto(b, b.InputBus("a", n), b.InputBus("b", n))
+	b.OutputBus("s", sums)
+	b.Output("cout", c)
+	return b.MustBuild()
+}
+
+// LookaheadAdderNetlist builds the same adder as an expanded
+// carry-lookahead: every carry c_{i+1} = OR_{j<=i} (g_j AND p_{j+1}..p_i)
+// is computed directly from the generate/propagate signals rather than
+// rippled. faultCarry, when in [1,n], sticks carry signal c_k at 0 (k=n
+// faults the carry-out): a classic stuck-at fault that makes the pair
+// inequivalent. Pass 0 for a correct adder.
+func LookaheadAdderNetlist(n, faultCarry int) *circuit.Netlist {
+	name := fmt.Sprintf("cla%d", n)
+	if faultCarry > 0 {
+		name = fmt.Sprintf("cla%df%d", n, faultCarry)
+	}
+	b := circuit.NewBuilder(name)
+	sums, c := lookaheadInto(b, b.InputBus("a", n), b.InputBus("b", n), faultCarry)
+	b.OutputBus("s", sums)
+	b.Output("cout", c)
+	return b.MustBuild()
+}
+
+// lookaheadInto emits the expanded carry-lookahead adder over the given
+// input buses, returning the sum bits and carry-out.
+func lookaheadInto(b *circuit.Builder, a, bb []circuit.Sig, faultCarry int) ([]circuit.Sig, circuit.Sig) {
+	n := len(a)
+	g := make([]circuit.Sig, n)
+	p := make([]circuit.Sig, n)
+	for i := 0; i < n; i++ {
+		g[i] = b.And(a[i], bb[i])
+		p[i] = b.Xor(a[i], bb[i])
+	}
+	// carry[i] = carry into bit i; carry[n] = carry out.
+	carry := make([]circuit.Sig, n+1)
+	carry[0] = b.Const(false)
+	for i := 1; i <= n; i++ {
+		// OR over j < i of g_j ∧ p_{j+1} ∧ ... ∧ p_{i-1}.
+		terms := make([]circuit.Sig, 0, i)
+		for j := 0; j < i; j++ {
+			term := g[j]
+			for k := j + 1; k < i; k++ {
+				term = b.And(term, p[k])
+			}
+			terms = append(terms, term)
+		}
+		if len(terms) == 1 {
+			carry[i] = terms[0]
+		} else {
+			carry[i] = b.Or(terms...)
+		}
+	}
+	if faultCarry >= 1 && faultCarry <= n {
+		carry[faultCarry] = b.Const(false)
+	}
+	sums := make([]circuit.Sig, n)
+	for i := 0; i < n; i++ {
+		sums[i] = b.Xor(p[i], carry[i])
+	}
+	return sums, carry[n]
+}
+
+// MiterNetlist builds both adder implementations into one combinational
+// netlist sharing the input buses, with a single output "neq" that is 1
+// exactly on distinguishing inputs. With fault set its on-set count is
+// DistinguishingCount(n, true); without, it is the constant-zero cone —
+// the latch-free Table 1 circuit that exercises the zero-iteration row
+// path in internal/bench.
+func MiterNetlist(n int, fault bool) *circuit.Netlist {
+	name := fmt.Sprintf("equiv-adder%d", n)
+	if fault {
+		name += "f"
+	}
+	b := circuit.NewBuilder(name)
+	a := b.InputBus("a", n)
+	bb := b.InputBus("b", n)
+	k := 0
+	if fault {
+		k = FaultCarry(n)
+	}
+	s1, c1 := rippleInto(b, a, bb)
+	s2, c2 := lookaheadInto(b, a, bb, k)
+	diff := b.Xor(c1, c2)
+	for i := 0; i < n; i++ {
+		diff = b.Or(diff, b.Xor(s1[i], s2[i]))
+	}
+	b.Output("neq", diff)
+	return b.MustBuild()
+}
+
+// FaultCarry returns the carry index the Fault flag sticks at 0 for an
+// n-bit instance: the middle of the chain, or the carry-out for n = 1.
+func FaultCarry(n int) int {
+	if k := n / 2; k >= 1 {
+		return k
+	}
+	return n
+}
+
+// AdderPairNetlists returns the ripple/lookahead implementation pair —
+// equivalent unless fault is set. Feed them to circuit.Equivalent for the
+// combinational-equivalence view of the same instance.
+func AdderPairNetlists(n int, fault bool) (*circuit.Netlist, *circuit.Netlist) {
+	k := 0
+	if fault {
+		k = FaultCarry(n)
+	}
+	return RippleAdderNetlist(n), LookaheadAdderNetlist(n, k)
+}
+
+// DistinguishingCount enumerates, in plain integer arithmetic, the number
+// of input pairs on which the faulty lookahead disagrees with the ripple
+// adder: exactly those where the true carry into bit FaultCarry(n) is 1.
+// The independent oracle for the equiv-adder family; n must be small
+// enough that 2^(2n) enumeration is feasible (tests use n <= 8). For
+// fault = false the answer is 0 by construction.
+func DistinguishingCount(n int, fault bool) int64 {
+	if !fault {
+		return 0
+	}
+	k := FaultCarry(n)
+	var count int64
+	for a := uint64(0); a < 1<<uint(n); a++ {
+		for b := uint64(0); b < 1<<uint(n); b++ {
+			// carry into bit k = the k-bit prefixes of a and b overflowing
+			mask := uint64(1)<<uint(k) - 1
+			if (a&mask)+(b&mask) >= 1<<uint(k) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// adderMiter evaluates the miter of the pair on m over 2n interleaved
+// input variables (a_i at 2i, b_i at 2i+1 — the order that keeps adder
+// BDDs linear): the result is 1 exactly on distinguishing inputs, so the
+// instance counts to 0 iff the pair is equivalent.
+func adderMiter(m *bdd.Manager, n int, fault bool) (bdd.Ref, error) {
+	ra, cla := AdderPairNetlists(n, fault)
+	srcRef := func(nl *circuit.Netlist) func(circuit.Sig, circuit.Op) bdd.Ref {
+		return func(s circuit.Sig, _ circuit.Op) bdd.Ref {
+			name := nl.NameOf(s)
+			i, err := strconv.Atoi(name[1:])
+			if err != nil {
+				panic("gauntlet: unexpected adder input name " + name)
+			}
+			if strings.HasPrefix(name, "a") {
+				return m.IthVar(2 * i)
+			}
+			return m.IthVar(2*i + 1)
+		}
+	}
+	outs := make([][]bdd.Ref, 2)
+	for i, nl := range []*circuit.Netlist{ra, cla} {
+		vals, err := EvalOutputs(m, nl, srcRef(nl))
+		if err != nil {
+			return bdd.Zero, err
+		}
+		outs[i] = vals
+	}
+	miter := m.Ref(bdd.Zero)
+	for i := range outs[0] {
+		d := m.Xor(outs[0][i], outs[1][i])
+		miter = conj2(m, miter, d, m.Or)
+	}
+	for _, vals := range outs {
+		for _, r := range vals {
+			m.Deref(r)
+		}
+	}
+	return miter, nil
+}
+
+// EvalOutputs compiles a combinational netlist's outputs on m with the
+// given input mapping, returning one owned ref per output (in OutName
+// order).
+func EvalOutputs(m *bdd.Manager, nl *circuit.Netlist, srcRef func(circuit.Sig, circuit.Op) bdd.Ref) ([]bdd.Ref, error) {
+	vals, err := circuit.EvalNetlistBDD(m, nl, srcRef)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]bdd.Ref, len(nl.Outputs))
+	for i, s := range nl.Outputs {
+		outs[i] = m.Ref(vals[s])
+	}
+	for _, r := range vals {
+		m.Deref(r)
+	}
+	return outs, nil
+}
+
+// conj2 folds g into f with the given binary op, consuming both.
+func conj2(m *bdd.Manager, f, g bdd.Ref, op func(bdd.Ref, bdd.Ref) bdd.Ref) bdd.Ref {
+	h := op(f, g)
+	m.Deref(f)
+	m.Deref(g)
+	return h
+}

@@ -1,0 +1,39 @@
+package gauntlet
+
+import "bddkit/internal/bdd"
+
+// queens builds the N-Queens characteristic function over n*n variables
+// (cell (r,c) is variable r*n+c, row-major): exactly one queen per row,
+// and no two queens share a column or diagonal. Its satisfying
+// assignments are exactly the solutions, so its minterm count is the
+// classic sequence 1, 0, 0, 2, 10, 4, 40, 92, 352, 724 (OEIS A000170).
+func queens(m *bdd.Manager, n int) bdd.Ref {
+	cell := func(r, c int) bdd.Ref { return m.IthVar(r*n + c) }
+
+	f := m.Ref(bdd.One)
+	// Exactly one queen per row. (Together with the column exclusions
+	// this forces exactly n queens, one per column too.)
+	row := make([]bdd.Ref, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			row[c] = cell(r, c)
+		}
+		f = conj(m, f, exactlyOne(m, row))
+	}
+	// Pairwise attack exclusions between distinct rows: same column or
+	// same diagonal.
+	for r1 := 0; r1 < n; r1++ {
+		for r2 := r1 + 1; r2 < n; r2++ {
+			d := r2 - r1
+			for c1 := 0; c1 < n; c1++ {
+				for _, c2 := range []int{c1, c1 - d, c1 + d} {
+					if c2 < 0 || c2 >= n {
+						continue
+					}
+					f = conj(m, f, m.Nand(cell(r1, c1), cell(r2, c2)))
+				}
+			}
+		}
+	}
+	return f
+}

@@ -142,6 +142,24 @@ func TestHistogramQuantileClampsToMax(t *testing.T) {
 	}
 }
 
+// TestHistogramSingleObservationQuantiles pins the general single-sample
+// contract — P50 == P95 == the observed value — including the overflow
+// bucket, whose nominal bound (2^47) is *below* a large observation, so
+// the clamp-to-max must raise it rather than lower it.
+func TestHistogramSingleObservationQuantiles(t *testing.T) {
+	for _, v := range []int64{1, 5, 100, 1 << 20, 1 << 46, 1 << 55} {
+		var h Histogram
+		h.Observe(v)
+		s := h.Snapshot()
+		if s.P50 != v || s.P95 != v {
+			t.Fatalf("Observe(%d): p50=%d p95=%d, want both %d", v, s.P50, s.P95, v)
+		}
+		if s.Max != v {
+			t.Fatalf("Observe(%d): max=%d, want %d", v, s.Max, v)
+		}
+	}
+}
+
 func TestPrometheusRoundTripCleanLint(t *testing.T) {
 	reg := NewRegistry()
 	c := reg.Counter("test_ops_total")

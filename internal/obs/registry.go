@@ -131,6 +131,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if i == 0 {
 			bound = 0
 		}
+		if i == histBuckets-1 {
+			// The last bucket absorbs everything beyond its nominal range,
+			// so its only honest upper bound is the observed maximum — a
+			// single observation of 2^55 must report P50 = 2^55, not 2^47.
+			bound = s.Max
+		}
 		if bound > s.Max {
 			bound = s.Max
 		}

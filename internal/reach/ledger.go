@@ -2,6 +2,7 @@ package reach
 
 import (
 	"math"
+	"math/big"
 	"time"
 
 	"bddkit/internal/bdd"
@@ -19,12 +20,23 @@ import (
 // traversals pay one atomic load per iteration.
 
 // stateFraction maps a state set to its fraction of the full state space.
+// Computed from the exact big.Int count (internal/count) rather than the
+// float64 MintermFraction recursion, so per-iteration ledger masses stay
+// meaningful past 2^53 states; only armed traversals pay the sweep.
 func (tr *TR) stateFraction(set bdd.Ref) float64 {
 	bits := tr.NumStateBits()
 	if bits == 0 {
 		return 0
 	}
-	return tr.StateCount(set) / math.Exp2(float64(bits))
+	c, err := tr.StateCountExact(set)
+	if err != nil {
+		return tr.StateCount(set) / math.Exp2(float64(bits))
+	}
+	f, _ := new(big.Float).Quo(
+		new(big.Float).SetInt(c),
+		new(big.Float).SetMantExp(big.NewFloat(1), bits),
+	).Float64()
+	return f
 }
 
 type iterLedger struct {

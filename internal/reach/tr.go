@@ -8,9 +8,11 @@ package reach
 
 import (
 	"fmt"
+	"math/big"
 
 	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
+	"bddkit/internal/count"
 	"bddkit/internal/obs"
 )
 
@@ -244,4 +246,24 @@ func (tr *TR) StateCount(set bdd.Ref) float64 {
 		p *= 2
 	}
 	return frac * p
+}
+
+// StateCountExact returns the exact number of states in a predicate over
+// the present-state variables. StateCount's float64 stops being exact at
+// 2^53 states (and accumulates rounding in deep recursions well before
+// that); this is the big.Int-safe form, errored when set depends on
+// variables outside the present-state set.
+func (tr *TR) StateCountExact(set bdd.Ref) (*big.Int, error) {
+	return count.MintermsOver(tr.M, set, tr.StateVars)
+}
+
+// stateCountExactOrNil is the Result-construction form of
+// StateCountExact: traversal sets always range over the present-state
+// variables, so the error path is vestigial.
+func (tr *TR) stateCountExactOrNil(set bdd.Ref) *big.Int {
+	c, err := tr.StateCountExact(set)
+	if err != nil {
+		return nil
+	}
+	return c
 }

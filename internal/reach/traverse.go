@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"math/big"
 	"time"
 
 	"bddkit/internal/bdd"
@@ -37,14 +38,18 @@ type Options struct {
 
 // Result reports a completed traversal.
 type Result struct {
-	Reached    bdd.Ref // exact reached set (caller owns the reference)
-	States     float64 // number of reachable states
-	Nodes      int     // |Reached|
-	Iterations int     // outer image computations
-	Closure    int     // exact closure checks run (HD only)
-	Completed  bool    // false when MaxIterations or Budget aborted the run
-	Elapsed    time.Duration
-	Stats      ImageStats
+	Reached bdd.Ref // exact reached set (caller owns the reference)
+	States  float64 // number of reachable states
+	// StatesExact is the exact reached-state count (States is a float64
+	// and degrades past 2^53 states); nil only if the reached set escaped
+	// the present-state variables, which a healthy traversal never does.
+	StatesExact *big.Int
+	Nodes       int  // |Reached|
+	Iterations  int  // outer image computations
+	Closure     int  // exact closure checks run (HD only)
+	Completed   bool // false when MaxIterations or Budget aborted the run
+	Elapsed     time.Duration
+	Stats       ImageStats
 }
 
 // BFS computes the exact reachable states from init by breadth-first
@@ -74,12 +79,13 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 			abortRecord(tr, "bfs", iters, ab.Reason)
 			captureCacheStats(m, &st)
 			res = Result{
-				Reached:    reached,
-				States:     tr.StateCount(reached),
-				Nodes:      m.DagSize(reached),
-				Iterations: iters,
-				Elapsed:    time.Since(start),
-				Stats:      st,
+				Reached:     reached,
+				States:      tr.StateCount(reached),
+				StatesExact: tr.stateCountExactOrNil(reached),
+				Nodes:       m.DagSize(reached),
+				Iterations:  iters,
+				Elapsed:     time.Since(start),
+				Stats:       st,
 			}
 		}
 	}()
@@ -121,13 +127,14 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 	}
 	captureCacheStats(m, &st)
 	return Result{
-		Reached:    reached,
-		States:     tr.StateCount(reached),
-		Nodes:      m.DagSize(reached),
-		Iterations: iters,
-		Completed:  completed,
-		Elapsed:    time.Since(start),
-		Stats:      st,
+		Reached:     reached,
+		States:      tr.StateCount(reached),
+		StatesExact: tr.stateCountExactOrNil(reached),
+		Nodes:       m.DagSize(reached),
+		Iterations:  iters,
+		Completed:   completed,
+		Elapsed:     time.Since(start),
+		Stats:       st,
 	}
 }
 
@@ -223,13 +230,14 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 			abortRecord(tr, "hd", iters, ab.Reason)
 			captureCacheStats(m, &st)
 			res = Result{
-				Reached:    reached,
-				States:     tr.StateCount(reached),
-				Nodes:      m.DagSize(reached),
-				Iterations: iters,
-				Closure:    closures,
-				Elapsed:    time.Since(start),
-				Stats:      st,
+				Reached:     reached,
+				States:      tr.StateCount(reached),
+				StatesExact: tr.stateCountExactOrNil(reached),
+				Nodes:       m.DagSize(reached),
+				Iterations:  iters,
+				Closure:     closures,
+				Elapsed:     time.Since(start),
+				Stats:       st,
 			}
 		}
 	}()
@@ -307,14 +315,15 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 	}
 	captureCacheStats(m, &st)
 	return Result{
-		Reached:    reached,
-		States:     tr.StateCount(reached),
-		Nodes:      m.DagSize(reached),
-		Iterations: iters,
-		Closure:    closures,
-		Completed:  completed,
-		Elapsed:    time.Since(start),
-		Stats:      st,
+		Reached:     reached,
+		States:      tr.StateCount(reached),
+		StatesExact: tr.stateCountExactOrNil(reached),
+		Nodes:       m.DagSize(reached),
+		Iterations:  iters,
+		Closure:     closures,
+		Completed:   completed,
+		Elapsed:     time.Since(start),
+		Stats:       st,
 	}
 }
 

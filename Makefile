@@ -5,7 +5,9 @@ WORKERS ?= 1
 OBS_PAR_ADDR ?= 127.0.0.1:6171
 OBS_QUALITY_ADDR ?= 127.0.0.1:6172
 
-.PHONY: check test vet build race fuzz-smoke gauntlet-smoke bench bench-save bench-cmp obs-smoke obs-par-smoke obs-quality-smoke profile-smoke
+SERVE_ADDR ?= 127.0.0.1:6173
+
+.PHONY: check test vet build race fuzz-smoke gauntlet-smoke bench bench-save bench-cmp obs-smoke obs-par-smoke obs-quality-smoke profile-smoke serve-smoke
 
 ## check: vet, build, test everything, race-test the BDD core and the
 ## oracle stress driver, smoke the fuzz targets and the generator
@@ -13,8 +15,9 @@ OBS_QUALITY_ADDR ?= 127.0.0.1:6172
 ## smoke the observability layer end to end (trace schema + required
 ## spans, structural profiler, parallel telemetry + Amdahl breakdown,
 ## quality ledger + Prometheus exposition, benchmark trajectory and
-## scaling curve in advisory mode).
-check: vet build test race fuzz-smoke gauntlet-smoke obs-smoke obs-par-smoke obs-quality-smoke profile-smoke
+## scaling curve in advisory mode) and the multi-tenant service daemon
+## (round trip, forced budget-degrade, tenant isolation, graceful drain).
+check: vet build test race fuzz-smoke gauntlet-smoke obs-smoke obs-par-smoke obs-quality-smoke profile-smoke serve-smoke
 	$(GO) run ./cmd/tables -bench-cmp $(BENCH_HISTORY) -bench-advisory
 	$(GO) run ./cmd/tables -speedup $(BENCH_HISTORY) -bench-advisory
 
@@ -35,7 +38,7 @@ test:
 ## (several clients hammering one Workers=4 manager while GC and
 ## reordering fire), and the parallel image path in reach.
 race:
-	$(GO) test -race -count=1 ./internal/bdd ./internal/oracle ./internal/count
+	$(GO) test -race -count=1 ./internal/bdd ./internal/oracle ./internal/count ./internal/serve
 	$(GO) test -race -count=1 -run Parallel ./internal/reach
 
 ## fuzz-smoke: run each native fuzz target briefly ($(FUZZTIME) apiece) on
@@ -156,6 +159,16 @@ obs-quality-smoke:
 	/tmp/bddkit-obscheck-q -prom -quiet /tmp/bddkit-quality-metrics-1.txt /tmp/bddkit-quality-metrics-2.txt
 	/tmp/bddkit-obscheck-q -quiet -require quality.op /tmp/bddkit-obs-quality-smoke.jsonl
 	@echo "obs-quality-smoke OK"
+
+## serve-smoke: end-to-end check of the bddserve daemon — build a tenant
+## up from a netlist through ops/approx/count/snapshot/restore, force a
+## budget-degrade on a starved tenant (degradation marker in the envelope,
+## loss on the quality ledger, counts on /metrics which must lint clean
+## under `obscheck -prom`), verify a concurrent tenant stays exact, and
+## drain the daemon gracefully on SIGTERM. Artifacts (server log, metrics
+## scrapes, snapshot) land under /tmp/bddkit-serve-smoke*.
+serve-smoke:
+	sh scripts/serve-smoke.sh $(SERVE_ADDR)
 
 ## profile-smoke: exercise the structural profiler — forest profile with
 ## the live-node cross-check, plus a single-output profile after RUA.

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"bddkit/internal/bdd"
+	"bddkit/internal/cliutil"
 	"bddkit/internal/count"
 	"bddkit/internal/model/gauntlet"
 	"bddkit/internal/obs"
@@ -50,6 +51,14 @@ func run() int {
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := cliutil.Check(
+		cliutil.Workers(*workers),
+		cliutil.NonNegative("samples", *samples),
+		cliutil.Fraction("bias", *bias),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "bddcount:", err)
+		return 2
+	}
 	bdd.SetDefaultWorkers(*workers)
 
 	p := gauntlet.Params{Family: *family, N: *n, Rows: *rows, Cols: *cols, Fault: *fault}

@@ -25,6 +25,7 @@ import (
 	"bddkit/internal/approx"
 	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
+	"bddkit/internal/cliutil"
 	"bddkit/internal/decomp"
 	"bddkit/internal/obs"
 	"bddkit/internal/prof"
@@ -52,6 +53,15 @@ func main() {
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := cliutil.Check(
+		cliutil.Workers(*workers),
+		cliutil.CacheBits("cache-bits", *cacheBits),
+		cliutil.CacheBits("cache-max-bits", *cacheMaxBits),
+		cliutil.NonNegative("threshold", *threshold),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "bddlab:", err)
+		os.Exit(2)
+	}
 	bdd.SetDefaultWorkers(*workers)
 	if *in == "" {
 		flag.Usage()

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"bddkit/internal/cliutil"
 	"bddkit/internal/obs"
 )
 
@@ -49,6 +50,14 @@ func main() {
 	topK := flag.Int("topk", 5, "hot unique-table levels to show in the parallel panel")
 	plain := flag.Bool("plain", false, "no ANSI control sequences; print frames sequentially")
 	flag.Parse()
+	if err := cliutil.Check(
+		cliutil.PositiveDuration("interval", *interval),
+		cliutil.NonNegative("frames", *frames),
+		cliutil.NonNegative("topk", *topK),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "bddtop:", err)
+		os.Exit(2)
+	}
 
 	c := &console{
 		base:   "http://" + *addr,

@@ -19,6 +19,7 @@ import (
 
 	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
+	"bddkit/internal/cliutil"
 	"bddkit/internal/obs"
 )
 
@@ -30,6 +31,10 @@ func main() {
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := cliutil.Workers(*workers); err != nil {
+		fmt.Fprintln(os.Stderr, "equiv:", err)
+		os.Exit(2)
+	}
 	bdd.SetDefaultWorkers(*workers)
 	if flag.NArg() != 2 {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] golden.net revised.net\n", os.Args[0])

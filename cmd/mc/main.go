@@ -21,6 +21,7 @@ import (
 
 	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
+	"bddkit/internal/cliutil"
 	"bddkit/internal/mc"
 	"bddkit/internal/model"
 	"bddkit/internal/obs"
@@ -40,6 +41,13 @@ func main() {
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := cliutil.Check(
+		cliutil.Workers(*workers),
+		cliutil.NonNegativeDuration("budget", *budget),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "mc:", err)
+		os.Exit(2)
+	}
 	bdd.SetDefaultWorkers(*workers)
 	if *ctl == "" {
 		flag.Usage()

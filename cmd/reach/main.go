@@ -25,6 +25,7 @@ import (
 
 	"bddkit/internal/bdd"
 	"bddkit/internal/circuit"
+	"bddkit/internal/cliutil"
 	"bddkit/internal/model"
 	"bddkit/internal/obs"
 	"bddkit/internal/reach"
@@ -49,6 +50,17 @@ func run() int {
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := cliutil.Check(
+		cliutil.Workers(*workers),
+		cliutil.NonNegative("threshold", *threshold),
+		cliutil.NonNegative("pimg-limit", *pimgLimit),
+		cliutil.NonNegative("pimg-threshold", *pimgTh),
+		cliutil.NonNegativeDuration("budget", *budget),
+		cliutil.Positive("cluster", *cluster),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "reach:", err)
+		os.Exit(2)
+	}
 	bdd.SetDefaultWorkers(*workers)
 
 	// Validate every flag before doing any work: a bad -method must not

@@ -34,6 +34,7 @@ import (
 
 	"bddkit/internal/bdd"
 	"bddkit/internal/bench"
+	"bddkit/internal/cliutil"
 	"bddkit/internal/model"
 	"bddkit/internal/obs"
 )
@@ -51,6 +52,13 @@ func main() {
 	var ocfg obs.Config
 	ocfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := cliutil.Check(
+		cliutil.Workers(*workers),
+		cliutil.NonNegativeDuration("budget", *budget),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(2)
+	}
 	bdd.SetDefaultWorkers(*workers)
 
 	if *benchCmp != "" {

@@ -45,7 +45,35 @@ const (
 	maxLoadPrealloc = 1 << 16
 	// maxLoadRoots bounds the "roots N" header.
 	maxLoadRoots = 1 << 20
+
+	// loadHeaderAllowance is the byte budget before the nodes header has
+	// declared a size: magic, vars/nodes headers, and a little slack for
+	// blank lines and comments.
+	loadHeaderAllowance = 4096
+	// maxNodeLineBytes is the per-declared-node byte allowance. A node line
+	// is four small integers ("67108863 1048575 +67108862 -67108861" ≈ 35
+	// bytes); 128 leaves room for formatting slack without letting a
+	// hostile stream pad megabytes between nodes.
+	maxNodeLineBytes = 128
+	// maxRootLineBytes is the per-declared-root byte allowance; root names
+	// are caller-chosen, so the line budget is generous.
+	maxRootLineBytes = 4096
 )
+
+// LoadSizeError reports an input stream that exceeded the byte budget
+// derived from its own declared header: either the header preamble was
+// padded past loadHeaderAllowance, or the body overran the per-node /
+// per-root allowances. A server restoring an untrusted tenant snapshot
+// matches it with errors.As to distinguish hostile padding from ordinary
+// parse failures.
+type LoadSizeError struct {
+	Read  int64 // bytes consumed when the budget tripped
+	Limit int64 // budget the declared header had earned
+}
+
+func (e *LoadSizeError) Error() string {
+	return fmt.Sprintf("bdd: Load: input exceeds byte budget (%d read, %d allowed by declared header)", e.Read, e.Limit)
+}
 
 // Save writes the forest rooted at the named functions.
 func (m *Manager) Save(w io.Writer, names []string, roots []Ref) error {
@@ -133,8 +161,19 @@ func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
 func (m *Manager) loadLocked(r io.Reader) (map[string]Ref, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	// The stream earns its byte budget from its own header: a small
+	// allowance up front, then nnodes/nroots line allowances once those
+	// headers are parsed. Every scanned byte — including comments and
+	// blank lines — is charged, so a payload cannot pad itself past what
+	// its declared shape justifies.
+	var read int64
+	budget := int64(loadHeaderAllowance)
 	line := func() (string, error) {
 		for sc.Scan() {
+			read += int64(len(sc.Bytes())) + 1
+			if read > budget {
+				return "", &LoadSizeError{Read: read, Limit: budget}
+			}
 			s := strings.TrimSpace(sc.Text())
 			if s != "" && !strings.HasPrefix(s, "#") {
 				return s, nil
@@ -153,7 +192,9 @@ func (m *Manager) loadLocked(r io.Reader) (map[string]Ref, error) {
 		return nil, fmt.Errorf("bdd: Load: bad magic %q", hdr)
 	}
 	var nvars int
-	if s, err := line(); err != nil || !scan1(s, "vars %d", &nvars) {
+	if s, err := line(); err != nil {
+		return nil, err
+	} else if !scan1(s, "vars %d", &nvars) {
 		return nil, fmt.Errorf("bdd: Load: missing vars header")
 	}
 	if nvars < 0 || nvars > MaxLoadVars {
@@ -163,12 +204,15 @@ func (m *Manager) loadLocked(r io.Reader) (map[string]Ref, error) {
 		m.addVarLocked()
 	}
 	var nnodes int
-	if s, err := line(); err != nil || !scan1(s, "nodes %d", &nnodes) {
+	if s, err := line(); err != nil {
+		return nil, err
+	} else if !scan1(s, "nodes %d", &nnodes) {
 		return nil, fmt.Errorf("bdd: Load: missing nodes header")
 	}
 	if nnodes < 0 || nnodes > MaxLoadNodes {
 		return nil, fmt.Errorf("bdd: Load: nodes %d outside [0,%d]", nnodes, MaxLoadNodes)
 	}
+	budget += int64(nnodes) * maxNodeLineBytes
 	// byID[i] holds the regular function for local id i; all are owned
 	// here and released on return. The header alone commits only a small
 	// allocation — the index grows with the node lines actually read, so
@@ -231,7 +275,10 @@ func (m *Manager) loadLocked(r io.Reader) (map[string]Ref, error) {
 		filled = i
 	}
 	var nroots int
-	if s, err := line(); err != nil || !scan1(s, "roots %d", &nroots) {
+	if s, err := line(); err != nil {
+		release()
+		return nil, err
+	} else if !scan1(s, "roots %d", &nroots) {
 		release()
 		return nil, fmt.Errorf("bdd: Load: missing roots header")
 	}
@@ -239,6 +286,7 @@ func (m *Manager) loadLocked(r io.Reader) (map[string]Ref, error) {
 		release()
 		return nil, fmt.Errorf("bdd: Load: roots %d outside [0,%d]", nroots, maxLoadRoots)
 	}
+	budget += int64(nroots) * maxRootLineBytes
 	out := make(map[string]Ref, min(nroots, maxLoadPrealloc))
 	for i := 0; i < nroots; i++ {
 		s, err := line()

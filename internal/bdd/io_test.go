@@ -2,6 +2,7 @@ package bdd
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -287,4 +288,56 @@ func TestSaveLoadDeepChain(t *testing.T) {
 	}
 	m2.Deref(got)
 	m.Deref(cube)
+}
+
+// TestLoadByteBudget: the deserializer charges every scanned byte against
+// a budget derived from the declared header, so an untrusted snapshot
+// cannot pad itself arbitrarily long. The failure is the typed
+// *LoadSizeError so servers can distinguish hostile padding from parse
+// errors.
+func TestLoadByteBudget(t *testing.T) {
+	pad := strings.Repeat("# padding line of no consequence\n", 400) // ~13KB
+
+	t.Run("header padding rejected", func(t *testing.T) {
+		m := New(2)
+		before := m.NodeCount()
+		in := "bddkit-bdd v1\n" + pad + "vars 2\nnodes 0\nroots 0\n"
+		_, err := m.Load(strings.NewReader(in))
+		var sz *LoadSizeError
+		if !errors.As(err, &sz) {
+			t.Fatalf("padded preamble: got %v, want *LoadSizeError", err)
+		}
+		if sz.Read <= sz.Limit {
+			t.Fatalf("error reports read %d <= limit %d", sz.Read, sz.Limit)
+		}
+		if m.NodeCount() != before {
+			t.Fatalf("aborted load leaked %d nodes", m.NodeCount()-before)
+		}
+	})
+
+	t.Run("body padding rejected", func(t *testing.T) {
+		m := New(2)
+		before := m.NodeCount()
+		in := "bddkit-bdd v1\nvars 2\nnodes 1\n" + pad + "1 0 +0 -0\nroots 0\n"
+		_, err := m.Load(strings.NewReader(in))
+		var sz *LoadSizeError
+		if !errors.As(err, &sz) {
+			t.Fatalf("padded body: got %v, want *LoadSizeError", err)
+		}
+		if m.NodeCount() != before {
+			t.Fatalf("aborted load leaked %d nodes", m.NodeCount()-before)
+		}
+	})
+
+	t.Run("modest comments still load", func(t *testing.T) {
+		m := New(2)
+		in := "bddkit-bdd v1\n# written by a tool\n# on some date\nvars 2\nnodes 1\n# the node\n1 0 +0 -0\nroots 1\nf +1\n"
+		roots, err := m.Load(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("commented file rejected: %v", err)
+		}
+		if len(roots) != 1 {
+			t.Fatalf("got %d roots, want 1", len(roots))
+		}
+	})
 }

@@ -163,7 +163,10 @@ func parseGate(b *Builder, line string, lineNo int) error {
 }
 
 // Write emits the netlist in the text format; Parse(Write(nl)) round-trips
-// modulo anonymous-signal naming.
+// modulo anonymous-signal naming. Declared output names that alias an
+// internally named signal (a Builder's OutputBus does this) are preserved
+// by emitting a BUF gate under the alias, since the text format's
+// .outputs line can only reference signal names.
 func Write(w io.Writer, nl *Netlist) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, ".model %s\n", nl.Name)
@@ -202,9 +205,20 @@ func Write(w io.Writer, nl *Netlist) error {
 		}
 	}
 	if len(nl.Outputs) > 0 {
+		outNames := make([]string, len(nl.Outputs))
+		for i, s := range nl.Outputs {
+			name := nl.NameOf(s)
+			if i < len(nl.OutName) && nl.OutName[i] != "" && nl.OutName[i] != name {
+				if _, taken := nl.byName[nl.OutName[i]]; !taken {
+					fmt.Fprintf(bw, "%s = BUF(%s)\n", nl.OutName[i], name)
+					name = nl.OutName[i]
+				}
+			}
+			outNames[i] = name
+		}
 		fmt.Fprint(bw, ".outputs")
-		for _, s := range nl.Outputs {
-			fmt.Fprintf(bw, " %s", nl.NameOf(s))
+		for _, name := range outNames {
+			fmt.Fprintf(bw, " %s", name)
 		}
 		fmt.Fprintln(bw)
 	}

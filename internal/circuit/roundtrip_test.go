@@ -139,3 +139,56 @@ func TestCompileReleasesCleanly(t *testing.T) {
 			got, c.M.PermanentNodeCount()-1)
 	}
 }
+
+// TestWriteParsePreservesOutputNames: a builder netlist whose outputs are
+// bus aliases (OutputBus names like p0..p3 over internal gate signals)
+// keeps those names through Write/Parse. Regression test: Write used to
+// emit the internal signal names on the .outputs line, so every consumer
+// of a serialized netlist saw n-numbered outputs instead of the declared
+// interface.
+func TestWriteParsePreservesOutputNames(t *testing.T) {
+	b := NewBuilder("aliased")
+	a := b.InputBus("a", 2)
+	c := b.InputBus("b", 2)
+	var sum []Sig
+	for i := range a {
+		sum = append(sum, b.Xor(a[i], c[i]))
+	}
+	b.OutputBus("p", sum)
+	nl := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, buf.String())
+	}
+	if len(nl2.OutName) != len(nl.OutName) {
+		t.Fatalf("output count %d, want %d", len(nl2.OutName), len(nl.OutName))
+	}
+	for i, name := range nl.OutName {
+		if nl2.OutName[i] != name {
+			t.Errorf("output %d named %q after round trip, want %q\n%s",
+				i, nl2.OutName[i], name, buf.String())
+		}
+	}
+	// Idempotence: writing the reparsed netlist adds no second BUF layer.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, nl2); err != nil {
+		t.Fatal(err)
+	}
+	if nl2.NumGates() != nl.NumGates()+len(nl.OutName) {
+		t.Fatalf("gate count %d after round trip, want %d + %d aliases",
+			nl2.NumGates(), nl.NumGates(), len(nl.OutName))
+	}
+	nl3, err := Parse(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl3.NumGates() != nl2.NumGates() {
+		t.Fatalf("second round trip grew the netlist: %d -> %d gates",
+			nl2.NumGates(), nl3.NumGates())
+	}
+}

@@ -51,7 +51,16 @@ type Config struct {
 	// the -obs endpoint scrapeable after the workload finishes (smoke
 	// tests curl /parallel and /metrics in that window).
 	Linger time.Duration
+	// ShutdownDrain bounds how long Close waits for in-flight endpoint
+	// requests (scrapes, pprof profiles) to finish before hard-closing
+	// the listener (0 = DefaultShutdownDrain).
+	ShutdownDrain time.Duration
 }
+
+// DefaultShutdownDrain is the default endpoint drain deadline at Close:
+// long enough for a straggling scrape or a short pprof profile, short
+// enough that teardown never appears hung.
+const DefaultShutdownDrain = 5 * time.Second
 
 // AddFlags registers the observability flags on fs.
 func (c *Config) AddFlags(fs *flag.FlagSet) {
@@ -87,6 +96,27 @@ func (c *Config) Enabled() bool {
 	return c.Trace != "" || c.Metrics || c.Addr != ""
 }
 
+// Validate rejects nonsensical flag values (negative sampling rates,
+// negative durations) before they silently disable or distort the
+// telemetry they were meant to configure.
+func (c *Config) Validate() error {
+	switch {
+	case c.FlightSize < 0:
+		return fmt.Errorf("obs: flight-recorder size %d is negative", c.FlightSize)
+	case c.ParSample < 0:
+		return fmt.Errorf("obs: -par-sample %d is negative (0 disables sampling)", c.ParSample)
+	case c.SampleInterval < 0:
+		return fmt.Errorf("obs: -obs-sample %v is negative", c.SampleInterval)
+	case c.StallDeadline < 0:
+		return fmt.Errorf("obs: -stall-deadline %v is negative (0 disarms the watchdog)", c.StallDeadline)
+	case c.Linger < 0:
+		return fmt.Errorf("obs: -obs-linger %v is negative", c.Linger)
+	case c.ShutdownDrain < 0:
+		return fmt.Errorf("obs: shutdown drain %v is negative", c.ShutdownDrain)
+	}
+	return nil
+}
+
 // Session is a started observability configuration: the metrics registry,
 // the armed global tracer, the flight recorder, and (optionally) the live
 // HTTP endpoint. It also installs itself as the process-wide bdd.Observer
@@ -102,7 +132,7 @@ type Session struct {
 
 	cfg       Config
 	traceFile *os.File
-	stopHTTP  func()
+	stopHTTP  func() error
 
 	// dumpW receives flight-recorder dumps (budget aborts, invariant
 	// failures, stalls, panics); os.Stderr unless SetDumpWriter redirects
@@ -137,6 +167,9 @@ type Session struct {
 // unconditionally. The session configures the process-global tracer T;
 // call Close when done.
 func (c Config) Start() (*Session, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	s := &Session{
 		Registry: NewRegistry(),
 		Tracer:   T,
@@ -221,7 +254,37 @@ func (c Config) MustStart() *Session {
 // the manager is mutating are advisory. It also points the tracer's
 // node-delta attribution at this manager.
 func (s *Session) ObserveManager(m *bdd.Manager) {
-	r := s.Registry
+	RegisterManagerGauges(s.Registry, m)
+	if s.Tracer != nil {
+		s.Tracer.LiveNodes = m.NodeCount
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mgr = m
+	if s.cfg.Addr != "" {
+		if s.timeSampler == nil {
+			s.timeSampler = newTimeSampler(m, L, s.cfg.SampleInterval)
+		} else {
+			s.timeSampler.SetManager(m)
+		}
+	}
+	if m.Workers() > 1 {
+		if s.cfg.StallDeadline > 0 && s.stopWatchdog == nil {
+			s.stopWatchdog = m.StartStallWatchdog(s.cfg.StallDeadline)
+		}
+		if s.cfg.Addr != "" && s.sampler == nil {
+			s.sampler = newParSampler(m, 0)
+		}
+	}
+}
+
+// RegisterManagerGauges installs the standard per-manager gauge set on any
+// registry — the session registry here, or a per-tenant registry in a
+// multi-manager server. The gauges read the manager without
+// synchronization, so values served while the manager is mutating are
+// advisory.
+func RegisterManagerGauges(r *Registry, m *bdd.Manager) {
 	r.GaugeFunc("bdd_live_nodes", func() float64 { return float64(m.NodeCount()) })
 	r.GaugeFunc("bdd_dead_nodes", func() float64 { return float64(m.DeadCount()) })
 	r.GaugeFunc("bdd_peak_live_nodes", func() float64 { return float64(m.Stats().PeakLive) })
@@ -251,28 +314,6 @@ func (s *Session) ObserveManager(m *bdd.Manager) {
 	r.GaugeFunc("bdd_tasks_local", func() float64 { return float64(m.Stats().TasksLocal) })
 	r.GaugeFunc("bdd_stw_epochs", func() float64 { return float64(m.Stats().STWCount) })
 	r.GaugeFunc("bdd_stw_time_ns", func() float64 { return float64(m.Stats().STWTime) })
-	if s.Tracer != nil {
-		s.Tracer.LiveNodes = m.NodeCount
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.mgr = m
-	if s.cfg.Addr != "" {
-		if s.timeSampler == nil {
-			s.timeSampler = newTimeSampler(m, L, s.cfg.SampleInterval)
-		} else {
-			s.timeSampler.SetManager(m)
-		}
-	}
-	if m.Workers() > 1 {
-		if s.cfg.StallDeadline > 0 && s.stopWatchdog == nil {
-			s.stopWatchdog = m.StartStallWatchdog(s.cfg.StallDeadline)
-		}
-		if s.cfg.Addr != "" && s.sampler == nil {
-			s.sampler = newParSampler(m, 0)
-		}
-	}
 }
 
 // SetDumpWriter redirects flight-recorder dumps (budget aborts, invariant
@@ -347,7 +388,9 @@ func (s *Session) Close() {
 		bdd.SetObserver(nil)
 	}
 	if s.stopHTTP != nil {
-		s.stopHTTP()
+		if err := s.stopHTTP(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
 		s.stopHTTP = nil
 	}
 	if s.Tracer != nil {

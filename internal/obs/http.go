@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -48,8 +49,10 @@ func publishExpvar(r *Registry) {
 	})
 }
 
-// serve starts the endpoint on addr and returns a shutdown function.
-func (s *Session) serve(addr string) (func(), error) {
+// serve starts the endpoint on addr and returns a shutdown function that
+// drains in-flight requests before closing (hard-close past the drain
+// deadline) and reports how the teardown went.
+func (s *Session) serve(addr string) (func() error, error) {
 	publishExpvar(s.Registry)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -132,5 +135,24 @@ func (s *Session) serve(addr string) (func(), error) {
 	s.BoundAddr = ln.Addr().String()
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // closed by the shutdown func
-	return func() { srv.Close() }, nil
+	drain := s.cfg.ShutdownDrain
+	if drain <= 0 {
+		drain = DefaultShutdownDrain
+	}
+	// Shutdown, not Close: a Prometheus scrape or a multi-second pprof
+	// profile in flight when the workload finishes must complete intact.
+	// Past the drain deadline (a wedged client, an endless profile) the
+	// endpoint falls back to a hard Close so teardown cannot hang.
+	return func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			closeErr := srv.Close()
+			if closeErr != nil {
+				return fmt.Errorf("obs: endpoint shutdown: %w (hard close: %v)", err, closeErr)
+			}
+			return fmt.Errorf("obs: endpoint shutdown: %w", err)
+		}
+		return nil
+	}, nil
 }

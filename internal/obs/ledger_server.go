@@ -1,0 +1,17 @@
+package obs
+
+// ArmLedger arms the process-global quality ledger against reg without a
+// full observability session. Long-running servers always want loss
+// accounting — a budget-degraded response must leave a ledger record even
+// when no -trace/-obs flag armed a session — so they arm the ledger
+// directly against their own registry and disarm it at shutdown.
+// Config.Start continues to arm/disarm the ledger for session users; a
+// later arm simply re-points the ledger.
+func ArmLedger(reg *Registry) { L.arm(reg, T) }
+
+// DisarmLedger stops the process-global ledger (no-op when disarmed).
+func DisarmLedger() {
+	if L.Enabled() {
+		L.disarm()
+	}
+}

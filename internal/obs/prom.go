@@ -31,60 +31,137 @@ const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 // le-buckets, _sum, and _count. Empty buckets are elided (le="+Inf" always
 // remains), keeping the page proportional to what was actually observed.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	WritePrometheusMulti(w, []LabeledRegistry{{R: r}})
+}
+
+// LabeledRegistry pairs a registry with a raw Prometheus label set (e.g.
+// `tenant="acme"`, no braces) applied to every series it contributes.
+type LabeledRegistry struct {
+	Labels string
+	R      *Registry
+}
+
+// promFamily is one metric family contributed by one registry: the writer
+// emits the samples with that registry's labels already applied.
+type promFamily struct {
+	name, typ string
+	write     func(io.Writer)
+}
+
+// promFamilies snapshots the registry's families with the given label set.
+func (r *Registry) promFamilies(labels string) ([]promFamily, map[string]string) {
 	r.mu.Lock()
-	type family struct {
-		name, typ string
-		write     func(io.Writer)
+	defer r.mu.Unlock()
+	fams := make([]promFamily, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.histos))
+	series := func(name string) string {
+		if labels == "" {
+			return name
+		}
+		return name + "{" + labels + "}"
 	}
-	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.histos))
 	for name, c := range r.counters {
-		c := c
-		fams = append(fams, family{name, "counter", func(w io.Writer) {
-			fmt.Fprintf(w, "%s %d\n", name, c.Value())
+		name, c := name, c
+		fams = append(fams, promFamily{name, "counter", func(w io.Writer) {
+			fmt.Fprintf(w, "%s %d\n", series(name), c.Value())
 		}})
 	}
 	for name, g := range r.gauges {
-		g := g
-		fams = append(fams, family{name, "gauge", func(w io.Writer) {
-			fmt.Fprintf(w, "%s %d\n", name, g.Value())
+		name, g := name, g
+		fams = append(fams, promFamily{name, "gauge", func(w io.Writer) {
+			fmt.Fprintf(w, "%s %d\n", series(name), g.Value())
 		}})
 	}
 	for name, fn := range r.funcs {
-		fn := fn
-		fams = append(fams, family{name, "gauge", func(w io.Writer) {
+		name, fn := name, fn
+		fams = append(fams, promFamily{name, "gauge", func(w io.Writer) {
 			v := fn()
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				v = 0
 			}
-			fmt.Fprintf(w, "%s %s\n", name, formatPromValue(v))
+			fmt.Fprintf(w, "%s %s\n", series(name), formatPromValue(v))
 		}})
 	}
 	for name, h := range r.histos {
-		h := h
-		fams = append(fams, family{name, "histogram", func(w io.Writer) {
-			writePromHistogram(w, name, h)
+		name, h := name, h
+		fams = append(fams, promFamily{name, "histogram", func(w io.Writer) {
+			writePromHistogram(w, name, labels, h)
 		}})
 	}
 	help := make(map[string]string, len(r.help))
 	for k, v := range r.help {
 		help[k] = v
 	}
-	r.mu.Unlock()
+	return fams, help
+}
 
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-	for _, f := range fams {
-		text := help[f.name]
+// WritePrometheusMulti writes several registries onto one exposition page —
+// the multi-tenant /metrics surface: a server-level registry unlabeled plus
+// one registry per tenant labeled tenant="id". HELP and TYPE are emitted
+// once per family name even when several registries contribute samples (the
+// exposition format forbids repeating them); the first registry to declare
+// a family fixes its type, so homogeneous naming across registries is the
+// caller's job (per-tenant registries built by the same code trivially
+// satisfy this).
+func WritePrometheusMulti(w io.Writer, regs []LabeledRegistry) {
+	type merged struct {
+		name, typ string
+		help      string
+		writes    []func(io.Writer)
+	}
+	byName := make(map[string]*merged)
+	order := []string{}
+	for _, lr := range regs {
+		if lr.R == nil {
+			continue
+		}
+		fams, help := lr.R.promFamilies(lr.Labels)
+		for _, f := range fams {
+			mf, ok := byName[f.name]
+			if !ok {
+				mf = &merged{name: f.name, typ: f.typ}
+				byName[f.name] = mf
+				order = append(order, f.name)
+			}
+			if mf.typ != f.typ {
+				// A name collision across registries with different kinds
+				// would corrupt the family; drop the late-comer's samples.
+				continue
+			}
+			if mf.help == "" {
+				mf.help = help[f.name]
+			}
+			mf.writes = append(mf.writes, f.write)
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := byName[name]
+		text := f.help
 		if text == "" {
 			text = "bddkit metric " + f.name
 		}
 		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapePromHelp(text))
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
-		f.write(w)
+		for _, write := range f.writes {
+			write(w)
+		}
 	}
 }
 
-func writePromHistogram(w io.Writer, name string, h *Histogram) {
+func writePromHistogram(w io.Writer, name, labels string, h *Histogram) {
 	counts := h.BucketCounts()
+	bucket := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("%s_bucket{le=%q}", name, le)
+		}
+		return fmt.Sprintf("%s_bucket{%s,le=%q}", name, labels, le)
+	}
+	series := func(suffix string) string {
+		if labels == "" {
+			return name + suffix
+		}
+		return name + suffix + "{" + labels + "}"
+	}
 	var cum int64
 	for i, c := range counts {
 		cum += c
@@ -97,11 +174,11 @@ func writePromHistogram(w io.Writer, name string, h *Histogram) {
 		if i > 0 {
 			le = int64(1)<<uint(i) - 1
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum)
+		fmt.Fprintf(w, "%s %d\n", bucket(strconv.FormatInt(le, 10)), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %d\n", name, h.sum.Load())
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s %d\n", bucket("+Inf"), cum)
+	fmt.Fprintf(w, "%s %d\n", series("_sum"), h.sum.Load())
+	fmt.Fprintf(w, "%s %d\n", series("_count"), h.count.Load())
 }
 
 // formatPromValue renders a float the way Prometheus clients expect:
@@ -361,55 +438,99 @@ func LintPrometheus(scrape *PromScrape) []string {
 	return problems
 }
 
+// lintPromHistogram checks bucket monotonicity per label set: a labeled
+// exposition (one histogram family, one series per tenant) restarts its
+// le ladder for each label combination, so the cumulative checks group by
+// the sample's labels with le stripped.
 func lintPromHistogram(f *PromFamily) []string {
 	var problems []string
-	var (
+	type histState struct {
 		prevCum   float64
-		prevLe    = math.Inf(-1)
-		infCum    = math.NaN()
-		count     = math.NaN()
+		prevLe    float64
+		infCum    float64
+		count     float64
 		sawBucket bool
-	)
+	}
+	states := make(map[string]*histState)
+	order := []string{}
+	at := func(key string) *histState {
+		st, ok := states[key]
+		if !ok {
+			st = &histState{prevLe: math.Inf(-1), infCum: math.NaN(), count: math.NaN()}
+			states[key] = st
+			order = append(order, key)
+		}
+		return st
+	}
+	describe := func(key string) string {
+		if key == "" {
+			return f.Name
+		}
+		return f.Name + "{" + key + "}"
+	}
 	for _, s := range f.Samples {
 		switch s.Name {
 		case f.Name + "_bucket":
-			sawBucket = true
+			key := stripPromLabel(s.Labels, "le")
+			st := at(key)
+			st.sawBucket = true
 			leStr := promLabelValue(s.Labels, "le")
 			if leStr == "" {
-				problems = append(problems, fmt.Sprintf("histogram %s: bucket without le label (line %d)", f.Name, s.Line))
+				problems = append(problems, fmt.Sprintf("histogram %s: bucket without le label (line %d)", describe(key), s.Line))
 				continue
 			}
 			le := math.Inf(1)
 			if leStr != "+Inf" {
 				v, err := strconv.ParseFloat(leStr, 64)
 				if err != nil {
-					problems = append(problems, fmt.Sprintf("histogram %s: bad le %q (line %d)", f.Name, leStr, s.Line))
+					problems = append(problems, fmt.Sprintf("histogram %s: bad le %q (line %d)", describe(key), leStr, s.Line))
 					continue
 				}
 				le = v
 			}
-			if le <= prevLe {
-				problems = append(problems, fmt.Sprintf("histogram %s: le %q out of order (line %d)", f.Name, leStr, s.Line))
+			if le <= st.prevLe {
+				problems = append(problems, fmt.Sprintf("histogram %s: le %q out of order (line %d)", describe(key), leStr, s.Line))
 			}
-			if s.Value < prevCum {
+			if s.Value < st.prevCum {
 				problems = append(problems, fmt.Sprintf("histogram %s: bucket le=%q count %v below previous %v (line %d)",
-					f.Name, leStr, s.Value, prevCum, s.Line))
+					describe(key), leStr, s.Value, st.prevCum, s.Line))
 			}
-			prevLe, prevCum = le, s.Value
+			st.prevLe, st.prevCum = le, s.Value
 			if math.IsInf(le, 1) {
-				infCum = s.Value
+				st.infCum = s.Value
 			}
 		case f.Name + "_count":
-			count = s.Value
+			at(s.Labels).count = s.Value
 		}
 	}
-	if sawBucket && math.IsNaN(infCum) {
-		problems = append(problems, fmt.Sprintf("histogram %s: missing le=\"+Inf\" bucket", f.Name))
-	}
-	if !math.IsNaN(infCum) && !math.IsNaN(count) && infCum != count {
-		problems = append(problems, fmt.Sprintf("histogram %s: le=\"+Inf\" bucket %v != _count %v", f.Name, infCum, count))
+	for _, key := range order {
+		st := states[key]
+		if st.sawBucket && math.IsNaN(st.infCum) {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing le=\"+Inf\" bucket", describe(key)))
+		}
+		if !math.IsNaN(st.infCum) && !math.IsNaN(st.count) && st.infCum != st.count {
+			problems = append(problems, fmt.Sprintf("histogram %s: le=\"+Inf\" bucket %v != _count %v", describe(key), st.infCum, st.count))
+		}
 	}
 	return problems
+}
+
+// stripPromLabel removes one label (and its value) from a raw label string,
+// keeping the rest in written order.
+func stripPromLabel(labels, key string) string {
+	if labels == "" {
+		return ""
+	}
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	for _, part := range parts {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) == 2 && kv[0] == key {
+			continue
+		}
+		kept = append(kept, strings.TrimSpace(part))
+	}
+	return strings.Join(kept, ",")
 }
 
 // promLabelValue extracts one label's (unescaped) value from a raw label

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusMulti exercises the multi-tenant exposition: a server
+// registry plus two labeled tenant registries merged onto one page must
+// produce a single HELP/TYPE block per family, carry the tenant labels on
+// every tenant series, and lint clean.
+func TestWritePrometheusMulti(t *testing.T) {
+	server := NewRegistry()
+	server.Counter("serve_requests_total").Add(7)
+	server.SetHelp("serve_requests_total", "requests admitted")
+
+	mk := func(reqs, live int64, obsv []int64) *Registry {
+		r := NewRegistry()
+		r.Counter("tenant_ops_total").Add(reqs)
+		r.SetHelp("tenant_ops_total", "operations completed")
+		r.Gauge("bdd_live_nodes").Set(live)
+		h := r.Histogram("op_dur_ns")
+		for _, v := range obsv {
+			h.Observe(v)
+		}
+		return r
+	}
+	ta := mk(3, 100, []int64{10, 2000, 2000000})
+	tb := mk(5, 250, []int64{1, 1, 50})
+
+	var buf bytes.Buffer
+	WritePrometheusMulti(&buf, []LabeledRegistry{
+		{R: server},
+		{Labels: `tenant="alice"`, R: ta},
+		{Labels: `tenant="bob"`, R: tb},
+	})
+	page := buf.String()
+
+	// One HELP/TYPE block per family even though two registries share the
+	// tenant families.
+	for _, fam := range []string{"tenant_ops_total", "bdd_live_nodes", "op_dur_ns"} {
+		if n := strings.Count(page, "# TYPE "+fam+" "); n != 1 {
+			t.Errorf("family %s has %d TYPE lines, want 1\n%s", fam, n, page)
+		}
+	}
+	for _, want := range []string{
+		"serve_requests_total 7",
+		`tenant_ops_total{tenant="alice"} 3`,
+		`tenant_ops_total{tenant="bob"} 5`,
+		`bdd_live_nodes{tenant="alice"} 100`,
+		`bdd_live_nodes{tenant="bob"} 250`,
+		`op_dur_ns_count{tenant="alice"} 3`,
+		`op_dur_ns_count{tenant="bob"} 3`,
+		`op_dur_ns_bucket{tenant="alice",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q\n%s", want, page)
+		}
+	}
+
+	scrape, err := ParsePrometheus(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if lint := LintPrometheus(scrape); len(lint) != 0 {
+		t.Fatalf("lint problems on multi-registry page: %v", lint)
+	}
+}
+
+// TestWritePrometheusMultiTypeConflict: when two registries disagree on a
+// family's type, the first registry wins and the conflicting series are
+// dropped rather than corrupting the page.
+func TestWritePrometheusMultiTypeConflict(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("x_total").Add(1)
+	b := NewRegistry()
+	b.Gauge("x_total").Set(9)
+
+	var buf bytes.Buffer
+	WritePrometheusMulti(&buf, []LabeledRegistry{
+		{Labels: `tenant="a"`, R: a},
+		{Labels: `tenant="b"`, R: b},
+	})
+	page := buf.String()
+	if !strings.Contains(page, `x_total{tenant="a"} 1`) {
+		t.Errorf("first registry's series missing:\n%s", page)
+	}
+	if strings.Contains(page, `tenant="b"`) {
+		t.Errorf("type-conflicting series leaked onto the page:\n%s", page)
+	}
+	if _, err := ParsePrometheus(strings.NewReader(page)); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+// TestLintPromHistogramPerLabelSet: the linter must track bucket ladders
+// per label set — interleaved tenants restart le from the bottom, which is
+// not an ordering defect — while still catching a real regression inside
+// one tenant's ladder.
+func TestLintPromHistogramPerLabelSet(t *testing.T) {
+	clean := `# HELP h op durations
+# TYPE h histogram
+h_bucket{tenant="a",le="1"} 2
+h_bucket{tenant="a",le="+Inf"} 4
+h_sum{tenant="a"} 9
+h_count{tenant="a"} 4
+h_bucket{tenant="b",le="1"} 1
+h_bucket{tenant="b",le="+Inf"} 1
+h_sum{tenant="b"} 0.5
+h_count{tenant="b"} 1
+`
+	scrape, err := ParsePrometheus(strings.NewReader(clean))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if lint := LintPrometheus(scrape); len(lint) != 0 {
+		t.Fatalf("false positive on per-tenant ladders: %v", lint)
+	}
+
+	broken := `# HELP h op durations
+# TYPE h histogram
+h_bucket{tenant="a",le="1"} 5
+h_bucket{tenant="a",le="2"} 3
+h_bucket{tenant="a",le="+Inf"} 5
+h_count{tenant="a"} 5
+h_bucket{tenant="b",le="1"} 1
+h_bucket{tenant="b",le="+Inf"} 2
+h_count{tenant="b"} 7
+`
+	scrape, _ = ParsePrometheus(strings.NewReader(broken))
+	lint := LintPrometheus(scrape)
+	var nonMono, countMismatch bool
+	for _, p := range lint {
+		if strings.Contains(p, `tenant="a"`) && strings.Contains(p, "below previous") {
+			nonMono = true
+		}
+		if strings.Contains(p, `tenant="b"`) && strings.Contains(p, "_count") {
+			countMismatch = true
+		}
+	}
+	if !nonMono {
+		t.Errorf("non-monotone bucket in tenant a not flagged: %v", lint)
+	}
+	if !countMismatch {
+		t.Errorf("+Inf/_count mismatch in tenant b not flagged: %v", lint)
+	}
+}

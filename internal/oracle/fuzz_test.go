@@ -3,6 +3,7 @@ package oracle
 import (
 	"bytes"
 	"sort"
+	"strings"
 	"testing"
 
 	"bddkit/internal/bdd"
@@ -34,6 +35,9 @@ func FuzzLoad(f *testing.F) {
 	f.Add([]byte("bddkit-bdd v1\nvars 2\nnodes 2000000000\n1 0 +0 -0\n"))
 	f.Add([]byte("bddkit-bdd v1\nvars 2\nnodes -1\nroots 0\n"))
 	f.Add([]byte("bddkit-bdd v1\nvars 2\nnodes 1\n1 1 +0 -0\nroots 1\nf +1\n"))
+	// Byte-budget seed: a shape-valid stream padded far past what its
+	// declared header justifies must fail with the typed size error.
+	f.Add([]byte("bddkit-bdd v1\nvars 2\nnodes 0\n" + strings.Repeat("# pad\n", 900) + "roots 0\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m := bdd.New(2)

@@ -98,3 +98,42 @@ func TestImageMonotone(t *testing.T) {
 	tr.Release()
 	c.Release()
 }
+
+// TestNodeLimitAbort: a traversal under a tiny live-node ceiling must
+// return a partial — but sound — reached set, flag the abort reason, and
+// leave the manager's limit disarmed for whoever runs next (the degrade
+// path allocates).
+func TestNodeLimitAbort(t *testing.T) {
+	nl := model.S5378(model.S5378Config{Units: 4, UnitWidth: 4})
+	c := compile(t, nl)
+	defer c.Release()
+	tr, err := NewTR(c, DefaultTROptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Release()
+	limit := c.M.NodeCount() + 32
+	res := tr.BFS(c.Init, Options{NodeLimit: limit})
+	if res.Completed {
+		t.Fatalf("traversal under a %d-node ceiling reported completion", limit)
+	}
+	if res.Abort == "" {
+		t.Fatal("aborted traversal carries no abort reason")
+	}
+	if !c.M.Leq(c.Init, res.Reached) {
+		t.Fatal("partial reached set lost the initial state")
+	}
+	if c.M.NodeLimit() != 0 {
+		t.Fatalf("traversal left node limit %d armed", c.M.NodeLimit())
+	}
+	c.M.Deref(res.Reached)
+
+	hd := tr.HighDensity(c.Init, Options{NodeLimit: limit})
+	if hd.Completed {
+		t.Fatal("HD under the ceiling reported completion")
+	}
+	if hd.Abort == "" {
+		t.Fatal("HD abort reason missing")
+	}
+	c.M.Deref(hd.Reached)
+}

@@ -51,7 +51,10 @@ type ImageStats struct {
 	PImgCuts      int  // partial-image subsettings applied
 	PeakLiveNodes int  // high-water mark of the manager's live nodes
 	PeakProduct   int  // largest intermediate product seen
-	Aborted       bool // an image hit the traversal deadline mid-way
+	Aborted       bool // an image hit the traversal deadline or node limit mid-way
+	// AbortReason describes what tripped when Aborted is set (the
+	// bdd.OpAborted reason, or the deadline poll between conjunctions).
+	AbortReason string
 
 	// Computed-table traffic over the manager for the whole run (the
 	// traversals run on a fresh manager, so these are attributable to the
@@ -114,8 +117,9 @@ func (tr *TR) Image(from bdd.Ref, pimg *PImg, st *ImageStats) (res bdd.Ref) {
 	defer func() {
 		st.ImageTime += time.Since(start)
 		if r := recover(); r != nil {
-			if _, ok := r.(bdd.OpAborted); ok {
+			if ab, ok := r.(bdd.OpAborted); ok {
 				st.Aborted = true
+				st.AbortReason = ab.Reason
 				res = m.Ref(bdd.Zero)
 				sp.End(obs.Bool("aborted", true))
 				return
@@ -136,6 +140,9 @@ func (tr *TR) Image(from bdd.Ref, pimg *PImg, st *ImageStats) (res bdd.Ref) {
 		cur, aborted = tr.imageTree(cur, st)
 		if aborted {
 			st.Aborted = true
+			if st.AbortReason == "" {
+				st.AbortReason = "operation aborted in concurrent image"
+			}
 			return m.Ref(bdd.Zero)
 		}
 		res = m.Permute(cur, tr.n2s)
@@ -148,6 +155,7 @@ func (tr *TR) Image(from bdd.Ref, pimg *PImg, st *ImageStats) (res bdd.Ref) {
 	for k, c := range tr.Clusters {
 		if !st.Deadline.IsZero() && time.Now().After(st.Deadline) {
 			st.Aborted = true
+			st.AbortReason = "deadline exceeded"
 			m.Deref(cur)
 			return m.Ref(bdd.Zero)
 		}

@@ -26,6 +26,12 @@ type Options struct {
 	// (0 = unbounded). An aborted traversal reports Completed = false
 	// and returns the states found so far.
 	Budget time.Duration
+	// NodeLimit arms a live-node ceiling on the manager for the duration
+	// of the traversal (0 = none). A traversal that trips it reports
+	// Completed = false with Abort describing the trip; the partial
+	// reached set is still a sound under-approximation of the reachable
+	// states, which is exactly what a budget-degraded server answer needs.
+	NodeLimit int
 	// Tracer receives structured spans and events for this run; nil falls
 	// back to the process-global obs.T.
 	Tracer *obs.Tracer
@@ -47,9 +53,12 @@ type Result struct {
 	Nodes       int  // |Reached|
 	Iterations  int  // outer image computations
 	Closure     int  // exact closure checks run (HD only)
-	Completed   bool // false when MaxIterations or Budget aborted the run
-	Elapsed     time.Duration
-	Stats       ImageStats
+	Completed   bool // false when MaxIterations, Budget, or NodeLimit aborted the run
+	// Abort carries the limit-trip reason when the traversal was cut short
+	// by a node-budget or deadline abort ("" = no abort).
+	Abort   string
+	Elapsed time.Duration
+	Stats   ImageStats
 }
 
 // BFS computes the exact reachable states from init by breadth-first
@@ -63,6 +72,11 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 		st.Deadline = start.Add(opts.Budget)
 		m.SetDeadline(st.Deadline)
 		defer m.SetDeadline(time.Time{})
+	}
+	if opts.NodeLimit > 0 {
+		prev := m.NodeLimit()
+		m.SetNodeLimit(opts.NodeLimit)
+		defer m.SetNodeLimit(prev)
 	}
 	reached := m.Ref(init)
 	iters := 0
@@ -84,6 +98,7 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 				StatesExact: tr.stateCountExactOrNil(reached),
 				Nodes:       m.DagSize(reached),
 				Iterations:  iters,
+				Abort:       ab.Reason,
 				Elapsed:     time.Since(start),
 				Stats:       st,
 			}
@@ -133,6 +148,7 @@ func (tr *TR) BFS(init bdd.Ref, opts Options) (res Result) {
 		Nodes:       m.DagSize(reached),
 		Iterations:  iters,
 		Completed:   completed,
+		Abort:       st.AbortReason,
 		Elapsed:     time.Since(start),
 		Stats:       st,
 	}
@@ -217,6 +233,11 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 		m.SetDeadline(st.Deadline)
 		defer m.SetDeadline(time.Time{})
 	}
+	if opts.NodeLimit > 0 {
+		prev := m.NodeLimit()
+		m.SetNodeLimit(opts.NodeLimit)
+		defer m.SetNodeLimit(prev)
+	}
 	closures := 0
 	reached := m.Ref(init)
 	iters := 0
@@ -236,6 +257,7 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 				Nodes:       m.DagSize(reached),
 				Iterations:  iters,
 				Closure:     closures,
+				Abort:       ab.Reason,
 				Elapsed:     time.Since(start),
 				Stats:       st,
 			}
@@ -322,6 +344,7 @@ func (tr *TR) HighDensity(init bdd.Ref, opts Options) (res Result) {
 		Iterations:  iters,
 		Closure:     closures,
 		Completed:   completed,
+		Abort:       st.AbortReason,
 		Elapsed:     time.Since(start),
 		Stats:       st,
 	}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bddkit/internal/circuit"
+	"bddkit/internal/model"
+)
+
+// TestConcurrentTenantStress hammers several tenants at once — some with
+// generous quotas, some starved — and asserts the isolation contract:
+// starved tenants degrade (and may shed), generous tenants never do, and
+// every generous tenant's answers stay exact throughout. Run under -race
+// this also exercises the admission/mutex layering for data races.
+func TestConcurrentTenantStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	_, ts := newTestServer(t, Config{DefaultQueueDepth: 64})
+	nl := multiplierNetlist(t, 4)
+
+	type tenantCase struct {
+		id     string
+		quota  int
+		expect string // "exact" or "degraded"
+	}
+	cases := []tenantCase{
+		{"good-a", 1 << 22, "exact"},
+		{"good-b", 1 << 22, "exact"},
+		{"tiny-a", 24, "degraded"},
+		{"tiny-b", 24, "degraded"},
+	}
+	for _, c := range cases {
+		base := ts.URL + "/v1/tenants/" + c.id
+		if st := call(t, "PUT", base, CreateTenantRequest{Quota: c.quota}, nil); st != http.StatusCreated {
+			t.Fatalf("%s: create %d", c.id, st)
+		}
+		if st := call(t, "POST", base+"/netlist", nl, nil); st != http.StatusOK {
+			t.Fatalf("%s: netlist %d", c.id, st)
+		}
+	}
+	var funcs []FuncInfo
+	call(t, "GET", ts.URL+"/v1/tenants/good-a/funcs", nil, &funcs)
+	if len(funcs) < 2 {
+		t.Fatalf("funcs: %+v", funcs)
+	}
+	x, y := funcs[len(funcs)-1].Name, funcs[len(funcs)-2].Name
+
+	// Ground truth from a quiet tenant before the storm.
+	type opEnv struct {
+		Envelope
+		Result FuncInfo `json:"result"`
+	}
+	type countEnv struct {
+		Envelope
+		Result CountResult `json:"result"`
+	}
+	var ce countEnv
+	call(t, "POST", ts.URL+"/v1/tenants/good-a/ops",
+		OpRequest{Op: "and", Args: []string{x, y}, Result: "truth"}, nil)
+	call(t, "POST", ts.URL+"/v1/tenants/good-a/count",
+		CountRequest{Target: "truth", Mode: "exact"}, &ce)
+	wantExact := ce.Result.Exact
+	if wantExact == "" {
+		t.Fatal("no ground-truth count")
+	}
+
+	const workers = 4
+	const iters = 15
+	var (
+		wg          sync.WaitGroup
+		server5xx   atomic.Int64
+		degradedOK  sync.Map // tenant id -> true once a degraded envelope arrived
+		goodViolate atomic.Int64
+	)
+	for _, c := range cases {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(c tenantCase, w int) {
+				defer wg.Done()
+				base := ts.URL + "/v1/tenants/" + c.id
+				for i := 0; i < iters; i++ {
+					name := fmt.Sprintf("r_%d_%d", w, i)
+					var oe opEnv
+					st := call(t, "POST", base+"/ops",
+						OpRequest{Op: "and", Args: []string{x, y}, Result: name}, &oe)
+					switch {
+					case st >= 500:
+						server5xx.Add(1)
+					case st == http.StatusTooManyRequests:
+						// Shed under load: fine for any tenant.
+					case st == http.StatusOK:
+						if oe.Degraded {
+							if c.expect == "exact" {
+								goodViolate.Add(1)
+							} else {
+								degradedOK.Store(c.id, true)
+							}
+						}
+						// Quota accounting holds for everyone.
+						if oe.LiveNodes < 0 || oe.Quota != c.quota {
+							goodViolate.Add(1)
+						}
+					}
+					var cnt countEnv
+					st = call(t, "POST", base+"/count",
+						CountRequest{Target: x, Mode: "fraction"}, &cnt)
+					if st >= 500 {
+						server5xx.Add(1)
+					}
+				}
+			}(c, w)
+		}
+	}
+	wg.Wait()
+
+	if n := server5xx.Load(); n > 0 {
+		t.Fatalf("%d server errors under concurrent load", n)
+	}
+	if n := goodViolate.Load(); n > 0 {
+		t.Fatalf("%d isolation violations on generous tenants", n)
+	}
+	for _, c := range cases {
+		if c.expect != "degraded" {
+			continue
+		}
+		if _, ok := degradedOK.Load(c.id); !ok {
+			t.Errorf("starved tenant %s never produced a degraded envelope", c.id)
+		}
+	}
+
+	// After the storm the generous tenants still answer exactly: the
+	// starved tenants' degradation never leaked into their managers.
+	for _, id := range []string{"good-a", "good-b"} {
+		base := ts.URL + "/v1/tenants/" + id
+		var oe opEnv
+		if st := call(t, "POST", base+"/ops",
+			OpRequest{Op: "and", Args: []string{x, y}, Result: "final"}, &oe); st != http.StatusOK || oe.Degraded {
+			t.Fatalf("%s: post-storm op status %d degraded=%v", id, st, oe.Degraded)
+		}
+		var fc countEnv
+		if st := call(t, "POST", base+"/count",
+			CountRequest{Target: "final", Mode: "exact"}, &fc); st != http.StatusOK {
+			t.Fatalf("%s: post-storm count %d", id, st)
+		}
+		if fc.Result.Exact != wantExact {
+			t.Fatalf("%s: post-storm count %s, want %s — cross-tenant contamination",
+				id, fc.Result.Exact, wantExact)
+		}
+	}
+}
+
+// TestConcurrentSnapshotAndDrop races snapshots, ops, and a tenant drop
+// against each other; everything must resolve to clean statuses (2xx/4xx),
+// never a crash or a race.
+func TestConcurrentSnapshotAndDrop(t *testing.T) {
+	_, ts := newTestServer(t, Config{DefaultQueueDepth: 64})
+	var nlBuf bytes.Buffer
+	if err := circuit.Write(&nlBuf, model.MultiplierNetlist(3)); err != nil {
+		t.Fatal(err)
+	}
+	base := ts.URL + "/v1/tenants/victim"
+	call(t, "PUT", base, nil, nil)
+	call(t, "POST", base+"/netlist", nlBuf.String(), nil)
+
+	var wg sync.WaitGroup
+	var server5xx atomic.Int64
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Get(base + "/snapshot")
+				if err == nil {
+					if resp.StatusCode >= 500 {
+						server5xx.Add(1)
+					}
+					resp.Body.Close()
+				}
+				if st := call(t, "GET", base+"/funcs", nil, nil); st >= 500 {
+					server5xx.Add(1)
+				}
+				if w == 0 && i == 5 {
+					if st := call(t, "DELETE", base, nil, nil); st >= 500 {
+						server5xx.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := server5xx.Load(); n > 0 {
+		t.Fatalf("%d server errors racing snapshot against drop", n)
+	}
+}
